@@ -1,0 +1,86 @@
+// Advisor: schema-aware vs workload-only view selection (§III-3, §IX-D2).
+//
+// Runs both selection mechanisms over the identical TPC-W workload and
+// database statistics and prints their chosen view sets side by side:
+//
+//   - Synergy's schema-based/workload-driven mechanism (§V, §VI), which only
+//     materializes key/foreign-key paths inside rooted trees, and
+//   - the schema-relationships-UNaware tuning advisor (MVCC-UA), which
+//     materializes whole query results under a storage budget.
+//
+// The contrast is the design argument of the paper: the advisor picks one
+// large aggregate (great for Q10, useless elsewhere), while Synergy covers
+// ten of eleven joins with composable hierarchy views.
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"synergy/internal/core"
+	"synergy/internal/sqlparser"
+	"synergy/internal/tpcw"
+	"synergy/internal/tuning"
+)
+
+func main() {
+	const customers = 500
+	data := tpcw.Generate(customers, 7)
+	stats := data.Stats()
+
+	// Synergy's mechanism.
+	w, err := core.ParseWorkload(tpcw.WorkloadSQL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := core.BuildDesign(tpcw.Schema(), tpcw.Roots(), w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Synergy: schema-based, workload-driven (§V, §VI) ===")
+	fmt.Printf("roots: %v\n", design.Roots)
+	for _, v := range design.Views {
+		fmt.Printf("  view %-28s key=(%v) root=%s\n", v.DisplayName(), v.Key, v.Root)
+	}
+	covered := 0
+	for _, sel := range design.Workload.Selects() {
+		if design.Rewritten[sel].UsesViews() {
+			covered++
+		}
+	}
+	fmt.Printf("queries rewritten to views: %d of %d\n\n", covered, len(design.Workload.Selects()))
+
+	// The tuning advisor.
+	queries := map[string]*sqlparser.SelectStmt{}
+	for _, st := range tpcw.JoinQueries() {
+		queries[st.ID] = sqlparser.MustParse(st.SQL).(*sqlparser.SelectStmt)
+	}
+	cands := tuning.Candidates(queries, stats)
+	recs := tuning.Recommend(cands, stats, 0)
+
+	fmt.Println("=== Tuning advisor: workload-only, schema-oblivious (MVCC-UA) ===")
+	fmt.Printf("candidates considered: %d\n", len(cands))
+	fmt.Printf("recommended under default budget:\n%s", tuning.Describe(recs))
+	fmt.Printf("queries served by advisor views: %d of %d\n\n", len(recs), len(queries))
+
+	fmt.Println("=== Why the difference matters (§III-3) ===")
+	fmt.Println("The advisor materializes whole query results: optimal for the one query,")
+	fmt.Println("but storage grows with every query added and updates must maintain wide,")
+	fmt.Println("non-key-aligned views. Synergy restricts views to key/foreign-key paths in")
+	fmt.Println("rooted trees, so every base row maps to one lockable hierarchy: a write")
+	fmt.Println("takes exactly one lock, and maintenance reads are bounded by the path length.")
+
+	// Quantify the write-amplification difference for one statement.
+	up := sqlparser.MustParse("UPDATE Item SET i_stock = ? WHERE i_id = ?")
+	plan, err := core.PlanWrite(design, up)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nUPDATE Item under Synergy touches %d views (plan locks root %q):\n", len(plan.Actions), plan.Root)
+	for _, a := range plan.Actions {
+		fmt.Printf("  %-28s locator=%v\n", a.View.DisplayName(), a.Locator)
+	}
+}

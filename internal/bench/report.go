@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFigure10 formats the micro-benchmark results.
+func RenderFigure10(rows []Figure10Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: micro-benchmark — view scan vs join algorithm (ms)\n")
+	fmt.Fprintf(&b, "%-10s %-6s %16s %16s %10s\n", "customers", "query", "view scan", "join algorithm", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %-6s %16s %16s %9.1fx\n",
+			r.Customers, r.Query, r.ViewScan, r.JoinAlgo, r.Speedup())
+	}
+	return b.String()
+}
+
+// RenderFigure11 formats the lock-overhead results.
+func RenderFigure11(rows []Figure11Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 11: two-phase row locking overhead in HBase (cold client)\n")
+	fmt.Fprintf(&b, "%-12s %16s\n", "locks", "overhead (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d %16s\n", r.Locks, r.Overhead)
+	}
+	return b.String()
+}
+
+// RenderGrid formats Figure 12 / Figure 14 style results.
+func RenderGrid(title string, g *GridResult) string {
+	var b strings.Builder
+	b.WriteString(title + " (ms; X = unsupported)\n")
+	fmt.Fprintf(&b, "%-6s", "stmt")
+	for _, sys := range g.Systems {
+		fmt.Fprintf(&b, " %16s", sys)
+	}
+	b.WriteByte('\n')
+	for _, st := range g.Statements {
+		fmt.Fprintf(&b, "%-6s", st)
+		for _, sys := range g.Systems {
+			fmt.Fprintf(&b, " %16s", g.Cells[st][sys])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderComparisons prints the discussion ratios of §IX-D3/D4 for a grid.
+func RenderComparisons(g *GridResult) string {
+	var b strings.Builder
+	all := g.Statements
+	syn := g.MeanOver("Synergy", all)
+	if syn <= 0 {
+		return ""
+	}
+	for _, sys := range []string{"MVCC-UA", "MVCC-A", "Baseline"} {
+		if m := g.MeanOver(sys, all); m > 0 {
+			fmt.Fprintf(&b, "Synergy vs %-9s mean ratio: %.1fx\n", sys+":", m/syn)
+		}
+	}
+	// VoltDB over its supported subset only.
+	sup := g.SupportedBy("VoltDB")
+	if len(sup) > 0 {
+		v := g.MeanOver("VoltDB", sup)
+		s := g.MeanOver("Synergy", sup)
+		if v > 0 {
+			fmt.Fprintf(&b, "Synergy vs VoltDB (supported subset): %.1fx slower\n", s/v)
+		}
+	}
+	return b.String()
+}
+
+// RenderTableII formats Table II.
+func RenderTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table II: sum of response times of all TPC-W statements (s)\n")
+	fmt.Fprintf(&b, "%-10s %16s\n", "system", "total (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %16s\n", r.System, r.Total)
+	}
+	return b.String()
+}
+
+// RenderTableIII formats Table III.
+func RenderTableIII(rows []TableIIIRow, customers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: database sizes (measured at %d customers, extrapolated to 1M)\n", customers)
+	fmt.Fprintf(&b, "%-10s %18s %18s\n", "system", "measured (MB)", "at 1M cust (GB)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %18.1f %18.1f\n", r.System, float64(r.MeasuredBytes)/1e6, r.ExtrapolatedGB)
+	}
+	return b.String()
+}

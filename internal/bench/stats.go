@@ -1,0 +1,72 @@
+// Package bench is the experiment harness: it assembles the five evaluated
+// systems of §IX-D2 (Synergy, MVCC-A, MVCC-UA, Baseline, VoltDB) over a
+// shared TPC-W database and regenerates every figure and table of the
+// paper's evaluation — Figures 10-14 and Tables I-III — with the paper's
+// methodology (10 repetitions, mean and standard error of the response
+// time).
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"synergy/internal/sim"
+)
+
+// Measurement is a mean ± standard error in milliseconds, the statistic
+// every figure reports.
+type Measurement struct {
+	Mean   float64
+	StdErr float64
+	N      int
+}
+
+func (m Measurement) String() string {
+	if m.N == 0 {
+		return "X"
+	}
+	return fmt.Sprintf("%.1f±%.1f", m.Mean, m.StdErr)
+}
+
+// Summarize reduces repetition samples (simulated durations) to a
+// Measurement.
+func Summarize(samples []sim.Micros) Measurement {
+	n := len(samples)
+	if n == 0 {
+		return Measurement{}
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s.Milliseconds()
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Measurement{Mean: mean, N: 1}
+	}
+	var ss float64
+	for _, s := range samples {
+		d := s.Milliseconds() - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return Measurement{Mean: mean, StdErr: sd / math.Sqrt(float64(n)), N: n}
+}
+
+// measure runs fn reps times and summarizes, applying a small multiplicative
+// jitter stream to model run-to-run measurement noise (the simulation itself
+// is deterministic; parameters already vary per repetition).
+func measure(reps int, rng *sim.RNG, fn func(rep int) (sim.Micros, error)) (Measurement, error) {
+	if reps <= 0 {
+		reps = 10
+	}
+	noise := rng.Derive("noise")
+	samples := make([]sim.Micros, 0, reps)
+	for r := 0; r < reps; r++ {
+		t, err := fn(r)
+		if err != nil {
+			return Measurement{}, err
+		}
+		samples = append(samples, noise.Jitter(t, 0.02))
+	}
+	return Summarize(samples), nil
+}

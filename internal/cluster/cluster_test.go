@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+
+	"synergy/internal/sim"
+)
+
+func TestNewDefaultTopology(t *testing.T) {
+	c := NewDefault(nil)
+	if got := c.Size(); got != 8 {
+		t.Fatalf("default cluster size = %d, want 8 (paper §IX-A1)", got)
+	}
+	if got := len(c.Nodes(RoleSlave)); got != 5 {
+		t.Fatalf("slaves = %d, want 5", got)
+	}
+	if len(c.Nodes(RoleMaster)) != 1 || len(c.Nodes(RoleTxn)) != 1 || len(c.Nodes(RoleClient)) != 1 {
+		t.Fatal("expected exactly one master, one txn node, one client")
+	}
+}
+
+func TestNodesSortedDeterministically(t *testing.T) {
+	c := New(nil)
+	c.AddNode("b", RoleSlave)
+	c.AddNode("a", RoleSlave)
+	c.AddNode("c", RoleSlave)
+	got := c.Nodes(RoleSlave)
+	if got[0].Name != "a" || got[1].Name != "b" || got[2].Name != "c" {
+		t.Fatalf("nodes not sorted: %v, %v, %v", got[0].Name, got[1].Name, got[2].Name)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate node")
+		}
+	}()
+	c := New(nil)
+	c.AddNode("x", RoleSlave)
+	c.AddNode("x", RoleSlave)
+}
+
+func TestRPCChargesRoundTrip(t *testing.T) {
+	costs := sim.DefaultCosts()
+	c := NewDefault(costs)
+	ctx := sim.NewCtx()
+	c.RPC(ctx, "client-0", "slave-0", 0)
+	if got := ctx.Elapsed(); got != costs.RPC {
+		t.Fatalf("RPC elapsed = %v, want %v", got, costs.RPC)
+	}
+	if s := ctx.Snapshot(); s.RPCs != 1 {
+		t.Fatalf("RPC count = %d, want 1", s.RPCs)
+	}
+}
+
+func TestLoopbackIsCheap(t *testing.T) {
+	costs := sim.DefaultCosts()
+	c := NewDefault(costs)
+	remote, local := sim.NewCtx(), sim.NewCtx()
+	c.RPC(remote, "client-0", "slave-0", 0)
+	c.RPC(local, "slave-0", "slave-0", 0)
+	if local.Elapsed() >= remote.Elapsed() {
+		t.Fatalf("loopback (%v) should be cheaper than remote (%v)", local.Elapsed(), remote.Elapsed())
+	}
+}
+
+func TestTransferChargesPerByte(t *testing.T) {
+	costs := sim.DefaultCosts()
+	c := NewDefault(costs)
+	ctx := sim.NewCtx()
+	const payload = 1 << 20 // 1 MiB
+	c.Transfer(ctx, "slave-0", "slave-1", payload)
+	want := costs.PerByte.Mul(payload)
+	if got := ctx.Elapsed(); got != want {
+		t.Fatalf("transfer elapsed = %v, want %v", got, want)
+	}
+	if s := ctx.Snapshot(); s.BytesMoved != payload {
+		t.Fatalf("bytes moved = %d, want %d", s.BytesMoved, payload)
+	}
+}
+
+func TestTransferSameNodeFree(t *testing.T) {
+	c := NewDefault(nil)
+	ctx := sim.NewCtx()
+	c.Transfer(ctx, "slave-0", "slave-0", 1<<20)
+	if ctx.Elapsed() != 0 {
+		t.Fatal("same-node transfer should be free")
+	}
+}
+
+func TestRPCWithPayloadCostsMoreThanEmpty(t *testing.T) {
+	c := NewDefault(nil)
+	empty, loaded := sim.NewCtx(), sim.NewCtx()
+	c.RPC(empty, "client-0", "slave-0", 0)
+	c.RPC(loaded, "client-0", "slave-0", 64*1024)
+	if loaded.Elapsed() <= empty.Elapsed() {
+		t.Fatal("payload-bearing RPC should cost more than empty RPC")
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"synergy/internal/schema"
+	"synergy/internal/sqlparser"
+)
+
+// WriteKind classifies a write statement.
+type WriteKind int
+
+const (
+	WriteInsert WriteKind = iota
+	WriteUpdate
+	WriteDelete
+)
+
+func (k WriteKind) String() string {
+	switch k {
+	case WriteInsert:
+		return "insert"
+	case WriteUpdate:
+		return "update"
+	case WriteDelete:
+		return "delete"
+	default:
+		return "?"
+	}
+}
+
+// LocatorKind says how the rows of a view affected by an update are found
+// (§VII-C).
+type LocatorKind int
+
+const (
+	// LocateByViewKey: the updated relation is the view's last relation,
+	// so the view key equals the base key.
+	LocateByViewKey LocatorKind = iota
+	// LocateByIndex: a maintenance index on the relation's key within the
+	// view locates the rows.
+	LocateByIndex
+	// LocateByScan: no index exists; the whole view must be scanned (the
+	// expensive case the maintenance indexes exist to avoid).
+	LocateByScan
+)
+
+func (k LocatorKind) String() string {
+	switch k {
+	case LocateByViewKey:
+		return "by-view-key"
+	case LocateByIndex:
+		return "by-maintenance-index"
+	case LocateByScan:
+		return "by-full-scan"
+	default:
+		return "?"
+	}
+}
+
+// ViewAction is one view-maintenance obligation of a write statement
+// (§VII): the applicability tests determine which actions a plan carries.
+type ViewAction struct {
+	View *View
+	// ReadChain, for inserts, lists the tree edges whose parent rows must
+	// be read to construct the view tuple (§VII-A2): k-1 reads for a
+	// k-relation view, ordered from the inserted relation upward.
+	ReadChain []schema.Edge
+	// Locator, for updates, says how affected view rows are found.
+	Locator LocatorKind
+	// LocatorIndex is the maintenance index used by LocateByIndex.
+	LocatorIndex *ViewIndex
+}
+
+// WritePlan is the auto-generated execution plan for one write statement
+// (§VIII-B, "plan generator"): which root lock to take, which views to
+// maintain and how.
+type WritePlan struct {
+	Table string
+	Kind  WriteKind
+	// Root is the root relation whose lock-table row guards this write;
+	// empty when the relation is outside every rooted tree (no views can
+	// contain it, so single-row atomicity suffices).
+	Root string
+	// LockChain holds the tree edges from the root down to Table;
+	// resolving the root key walks it upward via foreign keys.
+	LockChain []schema.Edge
+	// Actions lists the views this write must maintain.
+	Actions []ViewAction
+}
+
+// MultiRow reports whether the plan can touch more than one view row (only
+// updates on non-last relations), which is what requires the dirty-marking
+// protocol of §VIII-B.
+func (p *WritePlan) MultiRow() bool {
+	for _, a := range p.Actions {
+		if p.Kind == WriteUpdate && a.View.Last() != p.Table {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanWrite generates the write plan for a statement against the design
+// (§VIII-B). The applicability tests are §VII's:
+//
+//   - insert applies to views whose last relation is the written relation;
+//   - delete likewise (no cascading deletes);
+//   - update applies to every view containing the relation.
+func PlanWrite(d *Design, stmt sqlparser.Statement) (*WritePlan, error) {
+	var table string
+	var kind WriteKind
+	switch s := stmt.(type) {
+	case *sqlparser.InsertStmt:
+		table, kind = s.Table, WriteInsert
+	case *sqlparser.UpdateStmt:
+		table, kind = s.Table, WriteUpdate
+	case *sqlparser.DeleteStmt:
+		table, kind = s.Table, WriteDelete
+	default:
+		return nil, fmt.Errorf("core: not a write statement: %T", stmt)
+	}
+	rel := d.Schema.Relation(table)
+	if rel == nil {
+		return nil, fmt.Errorf("core: unknown relation %q", table)
+	}
+
+	plan := &WritePlan{Table: table, Kind: kind}
+	if root, ok := d.RootOf(table); ok {
+		plan.Root = root
+		chain, _ := d.LockChain(table)
+		plan.LockChain = chain
+	}
+
+	for _, v := range d.ViewsOnRelation(table) {
+		switch kind {
+		case WriteInsert, WriteDelete:
+			if v.Last() != table {
+				continue // applicability test fails (§VII-A1, §VII-B1)
+			}
+			action := ViewAction{View: v}
+			if kind == WriteInsert {
+				// Read chain: walk the view path upward from the
+				// inserted (last) relation to the first (§VII-A2).
+				for i := len(v.Edges) - 1; i >= 0; i-- {
+					action.ReadChain = append(action.ReadChain, v.Edges[i])
+				}
+			}
+			plan.Actions = append(plan.Actions, action)
+		case WriteUpdate:
+			action := ViewAction{View: v}
+			switch {
+			case v.Last() == table:
+				action.Locator = LocateByViewKey
+			default:
+				action.Locator = LocateByScan
+				for _, ix := range d.IndexesOnView(v) {
+					if ix.On[0] == rel.PK[0] {
+						action.Locator = LocateByIndex
+						action.LocatorIndex = ix
+						break
+					}
+				}
+			}
+			plan.Actions = append(plan.Actions, action)
+		}
+	}
+	return plan, nil
+}

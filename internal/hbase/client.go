@@ -1,0 +1,302 @@
+package hbase
+
+import (
+	"sync"
+
+	"synergy/internal/sim"
+)
+
+// Client is an application-side HBase handle, analogous to an HBase
+// Connection + Table API. Clients carry the connection/meta-cache state whose
+// warm-up cost dominates the paper's lock-overhead experiment (Figure 11):
+// a cold client pays ConnectionSetup before its first operation and a
+// MetaLookup per table on first touch.
+type Client struct {
+	hc   *HCluster
+	node string // node the client runs on
+
+	mu        sync.Mutex
+	connected bool
+	metaCache map[string]bool
+}
+
+// NewClient returns a cold client running on the workload driver node.
+func (hc *HCluster) NewClient() *Client {
+	return &Client{hc: hc, node: "client-0", metaCache: make(map[string]bool)}
+}
+
+// NewWarmClient returns a client with established connections and a primed
+// meta cache, as a long-running application server would hold.
+func (hc *HCluster) NewWarmClient() *Client {
+	c := hc.NewClient()
+	c.connected = true
+	for _, t := range hc.Tables() {
+		c.metaCache[t] = true
+	}
+	return c
+}
+
+// prepare charges connection warm-up and region location lookup as needed.
+func (c *Client) prepare(ctx *sim.Ctx, tbl string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.connected {
+		ctx.Charge(c.hc.costs.ConnectionSetup)
+		c.connected = true
+	}
+	if !c.metaCache[tbl] {
+		ctx.Charge(c.hc.costs.MetaLookup)
+		c.metaCache[tbl] = true
+	}
+}
+
+// Get reads one row.
+func (c *Client) Get(ctx *sim.Ctx, tbl, key string, opts ReadOpts) (RowResult, error) {
+	c.prepare(ctx, tbl)
+	t, err := c.hc.lookup(tbl)
+	if err != nil {
+		return RowResult{}, err
+	}
+	r := t.regionFor(key)
+	res := r.get(key, opts)
+	ctx.Charge(c.hc.costs.GetSeek)
+	c.hc.cl.RPC(ctx, c.node, r.server, res.Bytes())
+	if !res.Empty() {
+		ctx.CountRowsReturned(1)
+	}
+	return res, nil
+}
+
+// Put writes cells to a row. Zero-timestamp cells are stamped server-side.
+func (c *Client) Put(ctx *sim.Ctx, tbl, key string, cells []Cell) error {
+	c.prepare(ctx, tbl)
+	t, err := c.hc.lookup(tbl)
+	if err != nil {
+		return err
+	}
+	r := t.regionFor(key)
+	ts := c.hc.NextTS()
+	bytes := 0
+	stamped := make([]Cell, len(cells))
+	for i, cell := range cells {
+		if cell.TS == 0 {
+			cell.TS = ts
+		}
+		stamped[i] = cell
+		bytes += len(key) + len(cell.Qualifier) + len(cell.Value) + kvOverhead
+	}
+	c.hc.cl.RPC(ctx, c.node, r.server, bytes)
+	c.hc.walAppend(ctx, r.server, bytes)
+	ctx.Charge(c.hc.costs.PutApply)
+	r.put(key, stamped)
+	return nil
+}
+
+// Delete removes a whole row, or only the given qualifiers.
+func (c *Client) Delete(ctx *sim.Ctx, tbl, key string, qualifiers ...string) error {
+	return c.DeleteAt(ctx, tbl, key, 0, qualifiers...)
+}
+
+// DeleteAt removes a row (or qualifiers) with an explicit tombstone
+// timestamp; ts == 0 uses the server clock. MVCC transactions stamp
+// tombstones with their transaction id.
+func (c *Client) DeleteAt(ctx *sim.Ctx, tbl, key string, ts int64, qualifiers ...string) error {
+	c.prepare(ctx, tbl)
+	t, err := c.hc.lookup(tbl)
+	if err != nil {
+		return err
+	}
+	if ts == 0 {
+		ts = c.hc.NextTS()
+	}
+	r := t.regionFor(key)
+	c.hc.cl.RPC(ctx, c.node, r.server, len(key)+32)
+	c.hc.walAppend(ctx, r.server, len(key)+32)
+	ctx.Charge(c.hc.costs.PutApply)
+	r.deleteRow(key, ts, qualifiers)
+	return nil
+}
+
+// Increment atomically adds delta to a big-endian int64 counter cell.
+func (c *Client) Increment(ctx *sim.Ctx, tbl, key, qualifier string, delta int64) (int64, error) {
+	c.prepare(ctx, tbl)
+	t, err := c.hc.lookup(tbl)
+	if err != nil {
+		return 0, err
+	}
+	r := t.regionFor(key)
+	c.hc.cl.RPC(ctx, c.node, r.server, len(key)+len(qualifier)+16)
+	c.hc.walAppend(ctx, r.server, len(key)+len(qualifier)+16)
+	ctx.Charge(c.hc.costs.GetSeek + c.hc.costs.PutApply)
+	return r.increment(key, qualifier, delta, c.hc.NextTS()), nil
+}
+
+// CheckAndPut atomically puts cell iff the current value of (key, qualifier)
+// equals expected (nil = absent). It is the primitive the Synergy lock tables
+// are built on (§VIII-A, §IX-C).
+func (c *Client) CheckAndPut(ctx *sim.Ctx, tbl, key, qualifier string, expected []byte, cell Cell) (bool, error) {
+	c.prepare(ctx, tbl)
+	t, err := c.hc.lookup(tbl)
+	if err != nil {
+		return false, err
+	}
+	r := t.regionFor(key)
+	if cell.TS == 0 {
+		cell.TS = c.hc.NextTS()
+	}
+	bytes := len(key) + len(cell.Qualifier) + len(cell.Value) + len(expected) + kvOverhead
+	c.hc.cl.RPC(ctx, c.node, r.server, bytes)
+	ctx.Charge(c.hc.costs.CheckAndPut)
+	ok := r.checkAndPut(key, qualifier, expected, cell)
+	if ok {
+		c.hc.walAppend(ctx, r.server, bytes)
+		ctx.Charge(c.hc.costs.PutApply)
+	}
+	return ok, nil
+}
+
+// ScanSpec describes a scan.
+type ScanSpec struct {
+	Start  string // inclusive; "" = table start
+	Stop   string // exclusive; "" = table end
+	Prefix string // convenience: restricts to keys with this prefix
+	Limit  int    // max rows returned; 0 = unlimited
+	Read   ReadOpts
+	// Filter drops rows server-side; dropped rows are examined but not
+	// shipped (HBase filter pushdown).
+	Filter func(RowResult) bool
+	// Batch overrides the scanner caching (rows per RPC).
+	Batch int
+}
+
+func (s ScanSpec) bounds() (start, stop string) {
+	start, stop = s.Start, s.Stop
+	if s.Prefix != "" {
+		start = s.Prefix
+		stop = s.Prefix + "\xff\xff\xff\xff"
+	}
+	return start, stop
+}
+
+// Scanner streams rows from a table in key order across regions.
+type Scanner struct {
+	client  *Client
+	tbl     *table
+	spec    ScanSpec
+	batch   int
+	regions []*Region
+	ri      int    // current region index
+	resume  string // next key within current region
+	opened  bool   // ScanOpen charged for current region
+	buf     []RowResult
+	bi      int
+	sent    int
+	done    bool
+}
+
+// Scan opens a scanner.
+func (c *Client) Scan(ctx *sim.Ctx, tbl string, spec ScanSpec) (*Scanner, error) {
+	c.prepare(ctx, tbl)
+	t, err := c.hc.lookup(tbl)
+	if err != nil {
+		return nil, err
+	}
+	start, stop := spec.bounds()
+	batch := spec.Batch
+	if batch <= 0 {
+		batch = c.hc.costs.ScannerBatch
+	}
+	return &Scanner{
+		client:  c,
+		tbl:     t,
+		spec:    spec,
+		batch:   batch,
+		regions: t.regionsInRange(start, stop),
+		resume:  start,
+	}, nil
+}
+
+// Next returns the next row. ok is false when the scan is exhausted.
+func (s *Scanner) Next(ctx *sim.Ctx) (row RowResult, ok bool) {
+	if s.done {
+		return RowResult{}, false
+	}
+	for s.bi >= len(s.buf) {
+		if !s.fetch(ctx) {
+			s.done = true
+			return RowResult{}, false
+		}
+	}
+	row = s.buf[s.bi]
+	s.bi++
+	s.sent++
+	if s.spec.Limit > 0 && s.sent >= s.spec.Limit {
+		s.done = true
+	}
+	return row, true
+}
+
+// fetch pulls the next chunk from the current region, advancing to the next
+// region as needed. Reports false when all regions are exhausted.
+func (s *Scanner) fetch(ctx *sim.Ctx) bool {
+	hc := s.client.hc
+	_, stop := s.spec.bounds()
+	for s.ri < len(s.regions) {
+		r := s.regions[s.ri]
+		if !s.opened {
+			ctx.Charge(hc.costs.ScanOpen)
+			s.opened = true
+			if s.resume < r.start {
+				s.resume = r.start
+			}
+		}
+		want := s.batch
+		if s.spec.Limit > 0 {
+			if remaining := s.spec.Limit - s.sent; remaining < want {
+				want = remaining
+			}
+		}
+		rows, examined, next := r.scanChunk(s.resume, want, s.spec.Read, s.spec.Filter)
+		// Enforce the stop key (regions may extend past it).
+		if stop != "" {
+			for len(rows) > 0 && rows[len(rows)-1].Key >= stop {
+				rows = rows[:len(rows)-1]
+				next = ""
+			}
+		}
+		ctx.CountRowsScanned(examined)
+		ctx.Charge(sim.Micros(int64(examined) * int64(hc.costs.ScanNextRow)))
+		bytes := 0
+		for _, row := range rows {
+			bytes += row.Bytes()
+		}
+		ctx.CountRowsReturned(len(rows))
+		hc.cl.RPC(ctx, s.client.node, r.server, bytes)
+		if next == "" {
+			s.ri++
+			s.opened = false
+			if s.ri < len(s.regions) {
+				s.resume = s.regions[s.ri].start
+			}
+		} else {
+			s.resume = next
+		}
+		if len(rows) > 0 {
+			s.buf, s.bi = rows, 0
+			return true
+		}
+	}
+	return false
+}
+
+// All drains the scanner into a slice.
+func (s *Scanner) All(ctx *sim.Ctx) []RowResult {
+	var out []RowResult
+	for {
+		row, ok := s.Next(ctx)
+		if !ok {
+			return out
+		}
+		out = append(out, row)
+	}
+}

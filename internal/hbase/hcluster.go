@@ -1,0 +1,378 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"synergy/internal/cluster"
+	"synergy/internal/sdfs"
+	"synergy/internal/sim"
+	"synergy/internal/zk"
+)
+
+// Errors reported by the store.
+var (
+	ErrTableNotFound = errors.New("hbase: table not found")
+	ErrTableExists   = errors.New("hbase: table exists")
+	ErrUnsorted      = errors.New("hbase: bulk load rows not sorted")
+)
+
+// table is one table's region map, kept sorted by region start key.
+type table struct {
+	mu      sync.RWMutex
+	spec    TableSpec
+	regions []*Region
+}
+
+// regionFor locates the region containing key. Caller must not hold t.mu.
+func (t *table) regionFor(key string) *Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i := sort.Search(len(t.regions), func(i int) bool {
+		r := t.regions[i]
+		return r.end == "" || key < r.end
+	})
+	if i >= len(t.regions) {
+		i = len(t.regions) - 1
+	}
+	return t.regions[i]
+}
+
+// regionsInRange returns regions overlapping [start, stop). stop == "" means
+// unbounded.
+func (t *table) regionsInRange(start, stop string) []*Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*Region
+	for _, r := range t.regions {
+		if stop != "" && r.start != "" && r.start >= stop {
+			break
+		}
+		if r.end != "" && r.end <= start {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// HCluster is the HBase deployment: an HMaster (region assignment), region
+// servers on the cluster's slave nodes, WALs in the distributed filesystem
+// and coordination state in ZooKeeper.
+type HCluster struct {
+	cl    *cluster.Cluster
+	fs    *sdfs.FS
+	costs *sim.Costs
+
+	mu      sync.RWMutex
+	tables  map[string]*table
+	servers []string
+	nextSrv int
+
+	ts      atomic.Int64 // logical timestamp oracle
+	zkSess  *zk.Session
+	walMu   sync.Mutex
+	walSeqs map[string]int64
+}
+
+// NewHCluster deploys HBase over the given physical cluster. fs and ens may
+// be nil, in which case private instances are created.
+func NewHCluster(cl *cluster.Cluster, fs *sdfs.FS, ens *zk.Ensemble) *HCluster {
+	if fs == nil {
+		fs = sdfs.NewFS(cl, 3)
+	}
+	if ens == nil {
+		ens = zk.NewEnsemble()
+	}
+	hc := &HCluster{
+		cl:      cl,
+		fs:      fs,
+		costs:   cl.Costs(),
+		tables:  make(map[string]*table),
+		walSeqs: make(map[string]int64),
+		zkSess:  ens.NewSession(),
+	}
+	for _, n := range cl.Nodes(cluster.RoleSlave) {
+		hc.servers = append(hc.servers, n.Name)
+	}
+	if len(hc.servers) == 0 {
+		hc.servers = []string{"master-0"}
+	}
+	// Register the deployment in ZooKeeper as real HBase does.
+	hc.zkSess.Create("/hbase", nil, zk.CreateOpts{})
+	hc.zkSess.Create("/hbase/master", []byte("master-0"), zk.CreateOpts{Ephemeral: true})
+	hc.zkSess.Create("/hbase/rs", nil, zk.CreateOpts{})
+	for _, s := range hc.servers {
+		hc.zkSess.Create("/hbase/rs/"+s, nil, zk.CreateOpts{Ephemeral: true})
+	}
+	return hc
+}
+
+// Costs exposes the shared latency calibration.
+func (hc *HCluster) Costs() *sim.Costs { return hc.costs }
+
+// NextTS returns a monotonically increasing logical timestamp, standing in
+// for the millisecond clock HBase stamps cells with.
+func (hc *HCluster) NextTS() int64 { return hc.ts.Add(1) }
+
+func (hc *HCluster) assignServer() string {
+	s := hc.servers[hc.nextSrv%len(hc.servers)]
+	hc.nextSrv++
+	return s
+}
+
+// CreateTable creates a table, optionally pre-split.
+func (hc *HCluster) CreateTable(spec TableSpec) error {
+	spec.normalize()
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	if _, dup := hc.tables[spec.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrTableExists, spec.Name)
+	}
+	t := &table{spec: spec}
+	bounds := append([]string{""}, spec.SplitKeys...)
+	sort.Strings(bounds)
+	for i, start := range bounds {
+		end := ""
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		r := newRegion(&t.spec, start, end)
+		r.server = hc.assignServer()
+		t.regions = append(t.regions, r)
+	}
+	hc.tables[spec.Name] = t
+	return nil
+}
+
+// DropTable removes a table and its data.
+func (hc *HCluster) DropTable(name string) error {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	if _, ok := hc.tables[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrTableNotFound, name)
+	}
+	delete(hc.tables, name)
+	return nil
+}
+
+// HasTable reports table existence.
+func (hc *HCluster) HasTable(name string) bool {
+	hc.mu.RLock()
+	defer hc.mu.RUnlock()
+	_, ok := hc.tables[name]
+	return ok
+}
+
+// Tables lists table names, sorted.
+func (hc *HCluster) Tables() []string {
+	hc.mu.RLock()
+	defer hc.mu.RUnlock()
+	out := make([]string, 0, len(hc.tables))
+	for n := range hc.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (hc *HCluster) lookup(name string) (*table, error) {
+	hc.mu.RLock()
+	defer hc.mu.RUnlock()
+	t := hc.tables[name]
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s", ErrTableNotFound, name)
+	}
+	return t, nil
+}
+
+// walAppend charges the write-ahead-log append for one mutation on a region
+// server: an HDFS pipeline write of the edit.
+func (hc *HCluster) walAppend(ctx *sim.Ctx, server string, editBytes int) {
+	ctx.Charge(hc.costs.WALAppend)
+	ctx.Charge(hc.costs.PerByte.Mul(editBytes * hc.fs.Replication()))
+	hc.walMu.Lock()
+	hc.walSeqs[server]++
+	hc.walMu.Unlock()
+}
+
+// WALEdits reports the number of WAL edits a server has logged (used by
+// tests to verify the durability path is exercised).
+func (hc *HCluster) WALEdits(server string) int64 {
+	hc.walMu.Lock()
+	defer hc.walMu.Unlock()
+	return hc.walSeqs[server]
+}
+
+// FlushTable flushes every region's memstore.
+func (hc *HCluster) FlushTable(name string) error {
+	t, err := hc.lookup(name)
+	if err != nil {
+		return err
+	}
+	for _, r := range t.regionsInRange("", "") {
+		r.flush()
+	}
+	hc.splitIfNeeded(t)
+	return nil
+}
+
+// MajorCompact rewrites every region of the table into a single store file,
+// dropping tombstones — the experiments do this after database population
+// (§IX-B2, §IX-D1).
+func (hc *HCluster) MajorCompact(name string) error {
+	t, err := hc.lookup(name)
+	if err != nil {
+		return err
+	}
+	hc.splitIfNeeded(t)
+	for _, r := range t.regionsInRange("", "") {
+		r.majorCompact()
+	}
+	return nil
+}
+
+// splitIfNeeded splits any region whose row count exceeds the table's split
+// threshold, re-assigning daughters round-robin.
+func (hc *HCluster) splitIfNeeded(t *table) {
+	for {
+		split := false
+		t.mu.Lock()
+		for i, r := range t.regions {
+			if r.rowCount() <= t.spec.SplitThreshold {
+				continue
+			}
+			mid := r.midKey()
+			if mid == "" || mid == r.start {
+				continue
+			}
+			left, right := r.split(mid)
+			left.server = r.server
+			hc.mu.Lock()
+			right.server = hc.assignServer()
+			hc.mu.Unlock()
+			t.regions = append(t.regions[:i], append([]*Region{left, right}, t.regions[i+1:]...)...)
+			split = true
+			break
+		}
+		t.mu.Unlock()
+		if !split {
+			return
+		}
+	}
+}
+
+// RegionCount reports how many regions a table currently has.
+func (hc *HCluster) RegionCount(name string) int {
+	t, err := hc.lookup(name)
+	if err != nil {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.regions)
+}
+
+// RowEstimate reports the approximate number of rows in a table (used by
+// the SQL planner for join ordering).
+func (hc *HCluster) RowEstimate(name string) int {
+	t, err := hc.lookup(name)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, r := range t.regionsInRange("", "") {
+		n += r.rowCount()
+	}
+	return n
+}
+
+// TableBytes reports the KeyValue-format storage footprint of a table
+// (single replica).
+func (hc *HCluster) TableBytes(name string) int64 {
+	t, err := hc.lookup(name)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, r := range t.regionsInRange("", "") {
+		total += r.sizeBytes()
+	}
+	return total
+}
+
+// TotalBytes sums TableBytes over all tables.
+func (hc *HCluster) TotalBytes() int64 {
+	var total int64
+	for _, name := range hc.Tables() {
+		total += hc.TableBytes(name)
+	}
+	return total
+}
+
+// BulkRow is one pre-sorted row for BulkLoad.
+type BulkRow struct {
+	Key   string
+	Cells []Cell
+}
+
+// BulkLoad writes pre-sorted rows directly as store files, bypassing the WAL
+// and memstore — the standard HBase bulk-load path used to populate the
+// benchmark database. Rows must be sorted by key; cells with zero timestamps
+// receive load-time stamps.
+func (hc *HCluster) BulkLoad(name string, rows []BulkRow) error {
+	t, err := hc.lookup(name)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Key > rows[i].Key {
+			return fmt.Errorf("%w: %q > %q", ErrUnsorted, rows[i-1].Key, rows[i].Key)
+		}
+	}
+	ts := hc.NextTS()
+	t.mu.RLock()
+	regions := append([]*Region(nil), t.regions...)
+	t.mu.RUnlock()
+
+	idx := 0
+	for _, r := range regions {
+		if idx >= len(rows) {
+			break
+		}
+		end := len(rows)
+		if r.end != "" {
+			end = idx + sort.Search(len(rows)-idx, func(j int) bool { return rows[idx+j].Key >= r.end })
+		}
+		if end == idx {
+			continue
+		}
+		chunk := rows[idx:end]
+		idx = end
+		hrows := make([]hrow, 0, len(chunk))
+		var prev *hrow
+		for _, br := range chunk {
+			rd := &rowData{cells: make([]Cell, 0, len(br.Cells))}
+			for _, c := range br.Cells {
+				if c.TS == 0 {
+					c.TS = ts
+				}
+				rd.apply(c, t.spec.MaxVersions)
+			}
+			if prev != nil && prev.key == br.Key {
+				prev.data = merged(prev.data, rd)
+				continue
+			}
+			hrows = append(hrows, hrow{key: br.Key, data: rd})
+			prev = &hrows[len(hrows)-1]
+		}
+		r.mu.Lock()
+		r.files = append([]*hfile{{rows: hrows}}, r.files...)
+		r.mu.Unlock()
+	}
+	hc.splitIfNeeded(t)
+	return nil
+}

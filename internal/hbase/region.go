@@ -1,0 +1,395 @@
+package hbase
+
+import (
+	"sort"
+	"sync"
+)
+
+// hrow is one row inside an immutable store file.
+type hrow struct {
+	key  string
+	data *rowData
+}
+
+// hfile is an immutable, sorted store file produced by a memstore flush,
+// a bulk load or a compaction.
+type hfile struct {
+	rows []hrow
+}
+
+func (f *hfile) seek(key string) int {
+	return sort.Search(len(f.rows), func(i int) bool { return f.rows[i].key >= key })
+}
+
+func (f *hfile) find(key string) *rowData {
+	i := f.seek(key)
+	if i < len(f.rows) && f.rows[i].key == key {
+		return f.rows[i].data
+	}
+	return nil
+}
+
+// memStore is the in-memory write buffer of a region.
+type memStore struct {
+	rows   map[string]*rowData
+	keys   []string
+	sorted bool
+}
+
+func newMemStore() *memStore {
+	return &memStore{rows: make(map[string]*rowData)}
+}
+
+func (m *memStore) upsert(key string) *rowData {
+	rd := m.rows[key]
+	if rd == nil {
+		rd = &rowData{}
+		m.rows[key] = rd
+		m.keys = append(m.keys, key)
+		m.sorted = false
+	}
+	return rd
+}
+
+func (m *memStore) sortedKeys() []string {
+	if !m.sorted {
+		sort.Strings(m.keys)
+		m.sorted = true
+	}
+	return m.keys
+}
+
+func (m *memStore) len() int { return len(m.rows) }
+
+// Region is one contiguous key range [start, end) of a table. An empty
+// start/end means unbounded on that side.
+type Region struct {
+	mu    sync.RWMutex
+	spec  *TableSpec
+	start string
+	end   string
+	mem   *memStore
+	files []*hfile
+
+	server string // hosting region server node
+}
+
+func newRegion(spec *TableSpec, start, end string) *Region {
+	return &Region{spec: spec, start: start, end: end, mem: newMemStore()}
+}
+
+// contains reports whether key belongs to this region.
+func (r *Region) contains(key string) bool {
+	if key < r.start {
+		return false
+	}
+	return r.end == "" || key < r.end
+}
+
+// getLocked assembles the merged rowData for a key. Caller holds r.mu.
+func (r *Region) lookupLocked(key string) *rowData {
+	var parts []*rowData
+	if rd := r.mem.rows[key]; rd != nil {
+		parts = append(parts, rd)
+	}
+	for _, f := range r.files {
+		if rd := f.find(key); rd != nil {
+			parts = append(parts, rd)
+		}
+	}
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		return parts[0]
+	default:
+		return merged(parts...)
+	}
+}
+
+// get reads one row.
+func (r *Region) get(key string, opts ReadOpts) RowResult {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rd := r.lookupLocked(key)
+	if rd == nil {
+		return RowResult{Key: key}
+	}
+	return RowResult{Key: key, Cells: rd.read(opts)}
+}
+
+// put applies cells to a row.
+func (r *Region) put(key string, cells []Cell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rd := r.mem.upsert(key)
+	for _, c := range cells {
+		rd.apply(c, r.spec.MaxVersions)
+	}
+}
+
+// deleteRow writes a row tombstone, or column tombstones when qualifiers are
+// given.
+func (r *Region) deleteRow(key string, ts int64, qualifiers []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rd := r.mem.upsert(key)
+	if len(qualifiers) == 0 {
+		rd.apply(Cell{Qualifier: "", TS: ts, Type: TypeDeleteRow}, r.spec.MaxVersions)
+		return
+	}
+	for _, q := range qualifiers {
+		rd.apply(Cell{Qualifier: q, TS: ts, Type: TypeDeleteCol}, r.spec.MaxVersions)
+	}
+}
+
+// checkAndPut atomically compares the current visible value of (key,
+// qualifier) with expected (nil = must be absent) and applies the cell on
+// match. Returns whether the put was applied.
+func (r *Region) checkAndPut(key, qualifier string, expected []byte, c Cell) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var current []byte
+	if rd := r.lookupLocked(key); rd != nil {
+		current = rd.read(ReadOpts{})[qualifier]
+	}
+	if !bytesEqual(current, expected) {
+		return false
+	}
+	rd := r.mem.upsert(key)
+	rd.apply(c, r.spec.MaxVersions)
+	return true
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// increment atomically adds delta to a counter column and returns the new
+// value.
+func (r *Region) increment(key, qualifier string, delta int64, ts int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var cur int64
+	if rd := r.lookupLocked(key); rd != nil {
+		if v := rd.read(ReadOpts{})[qualifier]; len(v) == 8 {
+			cur = int64(uint64(v[0])<<56 | uint64(v[1])<<48 | uint64(v[2])<<40 | uint64(v[3])<<32 |
+				uint64(v[4])<<24 | uint64(v[5])<<16 | uint64(v[6])<<8 | uint64(v[7]))
+		}
+	}
+	cur += delta
+	buf := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(cur) >> (56 - 8*i))
+	}
+	rd := r.mem.upsert(key)
+	rd.apply(Cell{Qualifier: qualifier, Value: buf, TS: ts}, r.spec.MaxVersions)
+	return cur
+}
+
+// scanChunk returns up to limit visible rows with key >= start (and < r.end),
+// the number of rows examined server-side, and the key to resume from ("" if
+// the region is exhausted). filter, when non-nil, drops rows server-side
+// (they still count as examined).
+func (r *Region) scanChunk(start string, limit int, opts ReadOpts, filter func(RowResult) bool) (rows []RowResult, examined int, next string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	memKeys := r.mem.sortedKeys()
+	mi := sort.SearchStrings(memKeys, start)
+	fidx := make([]int, len(r.files))
+	for i, f := range r.files {
+		fidx[i] = f.seek(start)
+	}
+
+	for limit <= 0 || len(rows) < limit {
+		// Find the smallest candidate key across sources.
+		best := ""
+		if mi < len(memKeys) {
+			best = memKeys[mi]
+		}
+		for i, f := range r.files {
+			if fidx[i] < len(f.rows) {
+				if k := f.rows[fidx[i]].key; best == "" || k < best {
+					best = k
+				}
+			}
+		}
+		if best == "" || (r.end != "" && best >= r.end) {
+			return rows, examined, ""
+		}
+
+		var parts []*rowData
+		if mi < len(memKeys) && memKeys[mi] == best {
+			parts = append(parts, r.mem.rows[best])
+			mi++
+		}
+		for i, f := range r.files {
+			if fidx[i] < len(f.rows) && f.rows[fidx[i]].key == best {
+				parts = append(parts, f.rows[fidx[i]].data)
+				fidx[i]++
+			}
+		}
+		var rd *rowData
+		if len(parts) == 1 {
+			rd = parts[0]
+		} else {
+			rd = merged(parts...)
+		}
+		examined++
+		cells := rd.read(opts)
+		if len(cells) == 0 {
+			continue // deleted or invisible row
+		}
+		res := RowResult{Key: best, Cells: cells}
+		if filter != nil && !filter(res) {
+			continue
+		}
+		rows = append(rows, res)
+	}
+	// Limit reached: resume just after the last returned key.
+	return rows, examined, rows[len(rows)-1].Key + "\x00"
+}
+
+// flush moves the memstore into a new immutable store file.
+func (r *Region) flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+}
+
+func (r *Region) flushLocked() {
+	if r.mem.len() == 0 {
+		return
+	}
+	keys := append([]string(nil), r.mem.sortedKeys()...)
+	rows := make([]hrow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, hrow{key: k, data: r.mem.rows[k]})
+	}
+	// Newest file first so same-coordinate duplicates resolve toward
+	// recent data.
+	r.files = append([]*hfile{{rows: rows}}, r.files...)
+	r.mem = newMemStore()
+}
+
+// majorCompact merges memstore and all store files into one file, dropping
+// tombstones and surplus versions (§IX: experiments major-compact after
+// database population).
+func (r *Region) majorCompact() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+	if len(r.files) == 0 {
+		return
+	}
+	// K-way merge of sorted files.
+	var out []hrow
+	idx := make([]int, len(r.files))
+	for {
+		best := ""
+		for i, f := range r.files {
+			if idx[i] < len(f.rows) {
+				if k := f.rows[idx[i]].key; best == "" || k < best {
+					best = k
+				}
+			}
+		}
+		if best == "" {
+			break
+		}
+		var parts []*rowData
+		for i, f := range r.files {
+			if idx[i] < len(f.rows) && f.rows[idx[i]].key == best {
+				parts = append(parts, f.rows[idx[i]].data)
+				idx[i]++
+			}
+		}
+		var rd *rowData
+		if len(parts) == 1 {
+			rd = parts[0].clone()
+		} else {
+			rd = merged(parts...)
+		}
+		rd.compact(r.spec.MaxVersions)
+		if !rd.empty() {
+			out = append(out, hrow{key: best, data: rd})
+		}
+	}
+	r.files = []*hfile{{rows: out}}
+}
+
+// rowCount estimates the number of distinct row keys (memstore rows may
+// overlap file rows; the estimate is an upper bound, which is what split
+// decisions need).
+func (r *Region) rowCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := r.mem.len()
+	for _, f := range r.files {
+		n += len(f.rows)
+	}
+	return n
+}
+
+// sizeBytes reports the KeyValue-format storage footprint of the region.
+func (r *Region) sizeBytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for k, rd := range r.mem.rows {
+		total += rd.sizeBytes(k)
+	}
+	for _, f := range r.files {
+		for _, hr := range f.rows {
+			total += hr.data.sizeBytes(hr.key)
+		}
+	}
+	return total
+}
+
+// midKey returns a key near the middle of the region's data, or "" when the
+// region is too small to split.
+func (r *Region) midKey() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// Use the largest store file for the estimate, as HBase does.
+	var biggest *hfile
+	for _, f := range r.files {
+		if biggest == nil || len(f.rows) > len(biggest.rows) {
+			biggest = f
+		}
+	}
+	if biggest == nil || len(biggest.rows) < 2 {
+		return ""
+	}
+	return biggest.rows[len(biggest.rows)/2].key
+}
+
+// split divides the region at key, returning the two halves. The receiver
+// must no longer be used afterwards.
+func (r *Region) split(key string) (*Region, *Region) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+	left := newRegion(r.spec, r.start, key)
+	right := newRegion(r.spec, key, r.end)
+	for _, f := range r.files {
+		cut := f.seek(key)
+		if cut > 0 {
+			left.files = append(left.files, &hfile{rows: f.rows[:cut]})
+		}
+		if cut < len(f.rows) {
+			right.files = append(right.files, &hfile{rows: f.rows[cut:]})
+		}
+	}
+	return left, right
+}

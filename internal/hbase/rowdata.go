@@ -1,0 +1,184 @@
+package hbase
+
+import "sort"
+
+// rowData holds every retained cell version of one row, sorted by
+// (qualifier ascending, timestamp descending, tombstones before puts at equal
+// timestamps) — the HBase KeyValue sort order. Row-wide delete tombstones use
+// the empty qualifier so they sort first.
+type rowData struct {
+	cells []Cell
+}
+
+// cellLess orders cells within a row.
+func cellLess(a, b Cell) bool {
+	if a.Qualifier != b.Qualifier {
+		return a.Qualifier < b.Qualifier
+	}
+	if a.TS != b.TS {
+		return a.TS > b.TS // newest first
+	}
+	return a.Type > b.Type // tombstones (higher type value) first
+}
+
+// apply inserts one cell, keeping sort order and trimming put versions of
+// the qualifier beyond maxVersions. Tombstones are retained until compaction.
+func (r *rowData) apply(c Cell, maxVersions int) {
+	i := sort.Search(len(r.cells), func(i int) bool { return !cellLess(r.cells[i], c) })
+	if i < len(r.cells) && r.cells[i].Qualifier == c.Qualifier && r.cells[i].TS == c.TS && r.cells[i].Type == c.Type {
+		r.cells[i] = c // same coordinates: overwrite in place
+		return
+	}
+	r.cells = append(r.cells, Cell{})
+	copy(r.cells[i+1:], r.cells[i:])
+	r.cells[i] = c
+
+	if c.Type != TypePut {
+		return
+	}
+	// Trim surplus put versions of this qualifier.
+	puts := 0
+	for j := i; j < len(r.cells) && r.cells[j].Qualifier == c.Qualifier; j++ {
+		if r.cells[j].Type != TypePut {
+			continue
+		}
+		puts++
+		if puts > maxVersions {
+			r.cells = append(r.cells[:j], r.cells[j+1:]...)
+			j--
+		}
+	}
+}
+
+// read materializes the latest visible value per qualifier, honoring
+// tombstones and the read options' version filters. Returns nil when no cell
+// is visible (row absent).
+func (r *rowData) read(opts ReadOpts) map[string][]byte {
+	if len(r.cells) == 0 {
+		return nil
+	}
+	// Newest visible row-wide tombstone.
+	var rowDelTS int64 = -1
+	for _, c := range r.cells {
+		if c.Qualifier != "" {
+			break
+		}
+		if c.Type == TypeDeleteRow && opts.visible(c.TS) {
+			rowDelTS = c.TS
+			break
+		}
+	}
+
+	var out map[string][]byte
+	i := 0
+	for i < len(r.cells) {
+		q := r.cells[i].Qualifier
+		j := i
+		for j < len(r.cells) && r.cells[j].Qualifier == q {
+			j++
+		}
+		if q != "" && opts.wantsColumn(q) {
+			for k := i; k < j; k++ {
+				c := r.cells[k]
+				if !opts.visible(c.TS) {
+					continue
+				}
+				if c.Type == TypeDeleteCol {
+					break // hides everything older
+				}
+				if c.TS <= rowDelTS {
+					break // hidden by row tombstone
+				}
+				if out == nil {
+					out = make(map[string][]byte)
+				}
+				out[q] = c.Value
+				break
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// compact rewrites the row keeping only the newest maxVersions put cells per
+// qualifier that survive tombstones, and drops the tombstones themselves —
+// major-compaction semantics.
+func (r *rowData) compact(maxVersions int) {
+	var rowDelTS int64 = -1
+	for _, c := range r.cells {
+		if c.Qualifier != "" {
+			break
+		}
+		if c.Type == TypeDeleteRow {
+			rowDelTS = c.TS
+			break
+		}
+	}
+	kept := r.cells[:0]
+	i := 0
+	for i < len(r.cells) {
+		q := r.cells[i].Qualifier
+		j := i
+		for j < len(r.cells) && r.cells[j].Qualifier == q {
+			j++
+		}
+		if q != "" {
+			var colDel bool
+			puts := 0
+			for k := i; k < j; k++ {
+				c := r.cells[k]
+				if c.Type == TypeDeleteCol {
+					colDel = true
+					continue
+				}
+				if c.Type != TypePut || c.TS <= rowDelTS || colDel {
+					continue
+				}
+				if puts < maxVersions {
+					kept = append(kept, c)
+					puts++
+				}
+			}
+		}
+		i = j
+	}
+	r.cells = kept
+}
+
+// sizeBytes reports the KeyValue-format footprint of the row.
+func (r *rowData) sizeBytes(key string) int64 {
+	var n int64
+	for _, c := range r.cells {
+		n += KVSize(key, c)
+	}
+	return n
+}
+
+// empty reports whether no cells remain.
+func (r *rowData) empty() bool { return len(r.cells) == 0 }
+
+// clone deep-copies the cell index (values are immutable by convention and
+// shared).
+func (r *rowData) clone() *rowData {
+	return &rowData{cells: append([]Cell(nil), r.cells...)}
+}
+
+// merged returns a rowData combining this row's cells with another's,
+// preserving sort order. Used when merging memstore and store files.
+func merged(parts ...*rowData) *rowData {
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += len(p.cells)
+		}
+	}
+	out := &rowData{cells: make([]Cell, 0, total)}
+	for _, p := range parts {
+		if p != nil {
+			out.cells = append(out.cells, p.cells...)
+		}
+	}
+	sort.Slice(out.cells, func(i, j int) bool { return cellLess(out.cells[i], out.cells[j]) })
+	return out
+}

@@ -1,0 +1,164 @@
+// Package hbase is a simulated HBase: a column-family-oriented, horizontally
+// partitioned, sorted key-value store modeled after the system the paper
+// builds on (§II-C). It reproduces the pieces of HBase that the paper's
+// results depend on:
+//
+//   - tables of rows sorted by row key, split into regions hosted by region
+//     servers, so data really is distributed and cross-node work really does
+//     pay network latency;
+//   - the five-operation data manipulation API (Get, Put, Scan, Delete,
+//     Increment) plus CheckAndPut, the atomic compare-and-set the Synergy
+//     lock tables are built on (§VIII-A);
+//   - multi-version cells with timestamps, which the Tephra-like MVCC layer
+//     (internal/mvcc) uses for snapshot reads;
+//   - memstore flushes, store files and major compaction, whose storage
+//     format drives the disk-utilization comparison of Table III.
+//
+// All operations charge simulated latency to the caller's sim.Ctx via the
+// shared cluster cost model.
+package hbase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CellType distinguishes data cells from tombstones.
+type CellType byte
+
+const (
+	TypePut CellType = iota
+	// TypeDeleteRow is a tombstone covering every cell of the row at or
+	// before its timestamp.
+	TypeDeleteRow
+	// TypeDeleteCol is a tombstone covering one qualifier at or before its
+	// timestamp.
+	TypeDeleteCol
+)
+
+// Cell is one versioned value within a row. The reproduction uses a single
+// column family per table (the paper's baseline transformation assigns all
+// attributes to one family, §II-D), so cells carry only the qualifier.
+type Cell struct {
+	Qualifier string
+	Value     []byte
+	TS        int64
+	Type      CellType
+}
+
+// kvOverhead approximates the fixed per-cell bytes of the HBase KeyValue
+// wire/storage format: key length (4) + value length (4) + row length (2) +
+// family length (1) + family ("0", 1 byte) + timestamp (8) + type (1) and
+// block-index amortization. This per-cell overhead is the reason HBase
+// databases are several times larger than packed-tuple stores (Table III).
+const kvOverhead = 21
+
+// KVSize returns the storage footprint of one cell in a row with the given
+// key, following the HBase KeyValue format.
+func KVSize(rowKey string, c Cell) int64 {
+	return int64(kvOverhead + len(rowKey) + len(c.Qualifier) + len(c.Value))
+}
+
+// RowResult is the materialized latest-visible-version view of one row.
+type RowResult struct {
+	Key   string
+	Cells map[string][]byte // qualifier -> value
+}
+
+// Empty reports whether the row has no visible cells.
+func (r RowResult) Empty() bool { return len(r.Cells) == 0 }
+
+// Get returns the value of a qualifier, or nil.
+func (r RowResult) Get(qualifier string) []byte { return r.Cells[qualifier] }
+
+// Bytes returns the approximate payload size of the row as shipped to a
+// client.
+func (r RowResult) Bytes() int {
+	n := len(r.Key)
+	for q, v := range r.Cells {
+		n += kvOverhead + len(q) + len(v)
+	}
+	return n
+}
+
+// String renders the row compactly for debugging and tests.
+func (r RowResult) String() string {
+	quals := make([]string, 0, len(r.Cells))
+	for q := range r.Cells {
+		quals = append(quals, q)
+	}
+	sort.Strings(quals)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{", r.Key)
+	for i, q := range quals {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", q, r.Cells[q])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ReadOpts control version visibility for Get and Scan.
+type ReadOpts struct {
+	// ReadTS, when non-zero, hides cells with a timestamp greater than it
+	// (Tephra snapshot reads).
+	ReadTS int64
+	// Excluded, when non-nil, hides cells whose timestamp it reports true
+	// for (Tephra's invalid/in-progress transaction list).
+	Excluded func(ts int64) bool
+	// Columns, when non-empty, restricts the result to these qualifiers.
+	Columns []string
+}
+
+func (o ReadOpts) visible(ts int64) bool {
+	if o.ReadTS != 0 && ts > o.ReadTS {
+		return false
+	}
+	if o.Excluded != nil && o.Excluded(ts) {
+		return false
+	}
+	return true
+}
+
+func (o ReadOpts) wantsColumn(q string) bool {
+	if len(o.Columns) == 0 {
+		return true
+	}
+	for _, c := range o.Columns {
+		if c == q {
+			return true
+		}
+	}
+	return false
+}
+
+// TableSpec describes a table at creation time.
+type TableSpec struct {
+	Name string
+	// MaxVersions bounds retained versions per qualifier (HBase column
+	// family setting). Tables written through the MVCC layer need more
+	// than one.
+	MaxVersions int
+	// SplitThreshold is the row count at which a region splits. Zero
+	// selects the default.
+	SplitThreshold int
+	// SplitKeys optionally pre-splits the table into len(SplitKeys)+1
+	// regions at creation, as bulk-loaded deployments do.
+	SplitKeys []string
+}
+
+func (s *TableSpec) normalize() {
+	if s.MaxVersions <= 0 {
+		s.MaxVersions = 1
+	}
+	if s.SplitThreshold <= 0 {
+		s.SplitThreshold = defaultSplitThreshold
+	}
+}
+
+// defaultSplitThreshold keeps regions around the size a 10 GB HBase region
+// would hold for our row sizes, scaled down to simulation scale.
+const defaultSplitThreshold = 200_000

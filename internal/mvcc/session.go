@@ -1,0 +1,57 @@
+package mvcc
+
+import (
+	"synergy/internal/phoenix"
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+)
+
+// Session executes SQL statements as single-statement MVCC transactions
+// through a Phoenix engine, the way the Baseline/MVCC-A/MVCC-UA systems run
+// the workload with Phoenix-Tephra transaction support enabled (§IX-D2).
+type Session struct {
+	eng *phoenix.Engine
+	srv *Server
+}
+
+// NewSession binds an engine to a transaction server.
+func NewSession(eng *phoenix.Engine, srv *Server) *Session {
+	return &Session{eng: eng, srv: srv}
+}
+
+// Engine exposes the underlying SQL engine.
+func (s *Session) Engine() *phoenix.Engine { return s.eng }
+
+// Server exposes the transaction server.
+func (s *Session) Server() *Server { return s.srv }
+
+// Query runs a SELECT inside a snapshot transaction.
+func (s *Session) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (*phoenix.ResultSet, error) {
+	tx := s.srv.Begin(ctx)
+	rs, err := s.eng.QueryOpts(ctx, sel, params, phoenix.QueryOpts{Read: tx.ReadOpts()})
+	if err != nil {
+		s.srv.Abort(ctx, tx)
+		return nil, err
+	}
+	if cerr := s.srv.Commit(ctx, tx); cerr != nil {
+		return nil, cerr
+	}
+	return rs, nil
+}
+
+// Exec runs a write statement inside a transaction; on conflict the error is
+// ErrConflict and the transaction's writes are invisible.
+func (s *Session) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	tx := s.srv.Begin(ctx)
+	err := s.eng.Exec(ctx, stmt, params, phoenix.WriteOpts{
+		TS:      tx.ID(),
+		Read:    tx.ReadOpts(),
+		OnWrite: tx.RecordWrite,
+	})
+	if err != nil {
+		s.srv.Abort(ctx, tx)
+		return err
+	}
+	return s.srv.Commit(ctx, tx)
+}

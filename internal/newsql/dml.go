@@ -1,0 +1,254 @@
+package newsql
+
+import (
+	"errors"
+	"fmt"
+
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+)
+
+// Exec runs a single-row write transaction (insert, update or delete),
+// serialized on the owning partition — serializable isolation by
+// construction.
+func (e *Engine) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	ctx.Charge(e.costs.NewSQLBase)
+	switch s := stmt.(type) {
+	case *sqlparser.InsertStmt:
+		return e.execInsert(ctx, s, params)
+	case *sqlparser.UpdateStmt:
+		return e.execUpdate(ctx, s, params)
+	case *sqlparser.DeleteStmt:
+		return e.execDelete(ctx, s, params)
+	default:
+		return fmt.Errorf("newsql: unsupported statement %T", stmt)
+	}
+}
+
+// homeFor locates the partition owning a row of table.
+func (e *Engine) homeFor(table string, row schema.Row) (*partition, error) {
+	pcol := e.scheme.Partitioned(table)
+	if pcol == "" {
+		return e.repl, nil
+	}
+	v, ok := row[pcol]
+	if !ok || v == nil {
+		return nil, fmt.Errorf("newsql: write to %s must bind partition column %s", table, pcol)
+	}
+	return e.partitionFor(v), nil
+}
+
+func (e *Engine) execInsert(ctx *sim.Ctx, s *sqlparser.InsertStmt, params []schema.Value) error {
+	rel := e.sch.Relation(s.Table)
+	if rel == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownTable, s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = rel.ColumnNames()
+	}
+	if len(cols) != len(s.Values) {
+		return fmt.Errorf("newsql: %d columns, %d values", len(cols), len(s.Values))
+	}
+	row := schema.Row{}
+	for i, c := range cols {
+		v, err := constValue(s.Values[i], params)
+		if err != nil {
+			return err
+		}
+		row[c] = v
+	}
+	for _, k := range rel.PK {
+		if row[k] == nil {
+			return fmt.Errorf("%w: %s.%s", ErrKeyRequired, s.Table, k)
+		}
+	}
+	p, err := e.homeFor(s.Table, row)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.table(s.Table).rows[pkKey(rel, row)] = row
+	ctx.Charge(e.costs.NewSQLRow)
+	return nil
+}
+
+func (e *Engine) keyRowFromWhere(rel *schema.Relation, where []sqlparser.Predicate, params []schema.Value) (schema.Row, error) {
+	bound := schema.Row{}
+	for _, p := range where {
+		col, ok := p.Left.(sqlparser.ColumnRef)
+		if !ok || p.Op != sqlparser.OpEq {
+			return nil, fmt.Errorf("newsql: write WHERE must be key equality (%s)", p)
+		}
+		v, err := constValue(p.Right, params)
+		if err != nil {
+			return nil, err
+		}
+		bound[col.Column] = v
+	}
+	for _, k := range rel.PK {
+		if bound[k] == nil {
+			return nil, fmt.Errorf("%w: %s.%s", ErrKeyRequired, rel.Name, k)
+		}
+	}
+	return bound, nil
+}
+
+// findRow locates an existing row by its bound key attributes, searching the
+// owning partition when the partition column is bound and all partitions
+// otherwise (a multi-partition write).
+func (e *Engine) findRow(ctx *sim.Ctx, table string, rel *schema.Relation, bound schema.Row) (*partition, *memTable, string, schema.Row) {
+	key := pkKey(rel, bound)
+	pcol := e.scheme.Partitioned(table)
+	var candidates []*partition
+	if pcol == "" {
+		candidates = []*partition{e.repl}
+	} else if v, ok := bound[pcol]; ok && v != nil {
+		candidates = []*partition{e.partitionFor(v)}
+	} else {
+		candidates = e.parts
+		ctx.Charge(e.costs.NewSQLMultiPartition)
+	}
+	for _, p := range candidates {
+		p.mu.Lock()
+		t := p.tables[table]
+		if t != nil {
+			if row, ok := t.rows[key]; ok {
+				return p, t, key, row // caller unlocks p
+			}
+		}
+		p.mu.Unlock()
+	}
+	return nil, nil, "", nil
+}
+
+func (e *Engine) execUpdate(ctx *sim.Ctx, s *sqlparser.UpdateStmt, params []schema.Value) error {
+	rel := e.sch.Relation(s.Table)
+	if rel == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownTable, s.Table)
+	}
+	bound, err := e.keyRowFromWhere(rel, s.Where, params)
+	if err != nil {
+		return err
+	}
+	p, t, key, row := e.findRow(ctx, s.Table, rel, bound)
+	if p == nil {
+		return nil // zero rows affected
+	}
+	defer p.mu.Unlock()
+	updated := row.Clone()
+	for _, a := range s.Set {
+		v, err := constValue(a.Value, params)
+		if err != nil {
+			return err
+		}
+		updated[a.Column] = v
+	}
+	t.rows[key] = updated
+	ctx.Charge(e.costs.NewSQLRow)
+	return nil
+}
+
+func (e *Engine) execDelete(ctx *sim.Ctx, s *sqlparser.DeleteStmt, params []schema.Value) error {
+	rel := e.sch.Relation(s.Table)
+	if rel == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownTable, s.Table)
+	}
+	bound, err := e.keyRowFromWhere(rel, s.Where, params)
+	if err != nil {
+		return err
+	}
+	p, t, key, _ := e.findRow(ctx, s.Table, rel, bound)
+	if p == nil {
+		return nil
+	}
+	defer p.mu.Unlock()
+	delete(t.rows, key)
+	ctx.Charge(e.costs.NewSQLRow)
+	return nil
+}
+
+// Fleet runs one engine per partitioning scheme, mirroring the paper's
+// methodology: "to profile the performance of the maximum number of joins
+// ... we use three different partitioning schemes" (§IX-D2). A query runs on
+// the first scheme that supports it.
+type Fleet struct {
+	Engines []*Engine
+}
+
+// NewFleet deploys one engine per scheme and loads each with the same data.
+func NewFleet(sch *schema.Schema, schemes []Scheme, nparts int, costs *sim.Costs) *Fleet {
+	f := &Fleet{}
+	for _, s := range schemes {
+		f.Engines = append(f.Engines, New(sch, s, nparts, costs))
+	}
+	return f
+}
+
+// Load loads rows into every engine.
+func (f *Fleet) Load(table string, rows []schema.Row) error {
+	for _, e := range f.Engines {
+		if err := e.Load(table, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query tries each scheme in order; ErrUnsupportedJoin falls through to the
+// next. The error of the last engine is returned when none supports it.
+func (f *Fleet) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) ([]schema.Row, error) {
+	var lastErr error
+	for _, e := range f.Engines {
+		rows, err := e.Query(ctx, sel, params)
+		if err == nil {
+			return rows, nil
+		}
+		lastErr = err
+		if !isUnsupported(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Exec applies a write to every engine (each scheme's copy must stay
+// consistent); the cost is charged once — the paper ran one scheme at a
+// time.
+func (f *Fleet) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	for i, e := range f.Engines {
+		c := ctx
+		if i > 0 {
+			c = sim.NewCtx() // keep other replicas consistent without double-charging
+		}
+		if err := e.Exec(c, stmt, params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Supported reports whether any scheme can run the query.
+func (f *Fleet) Supported(sel *sqlparser.SelectStmt, params []schema.Value) bool {
+	for _, e := range f.Engines {
+		if _, err := e.analyzeRouting(sel, params); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// DatabaseBytes reports the footprint of ONE engine (the paper deploys one
+// scheme at a time; the fleet exists only to profile all queries).
+func (f *Fleet) DatabaseBytes() int64 {
+	if len(f.Engines) == 0 {
+		return 0
+	}
+	return f.Engines[0].DatabaseBytes()
+}
+
+func isUnsupported(err error) bool {
+	return errors.Is(err, ErrUnsupportedJoin)
+}

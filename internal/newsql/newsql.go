@@ -1,0 +1,727 @@
+// Package newsql is a VoltDB-like NewSQL engine (§IX-D2): an in-memory,
+// horizontally partitioned SQL store executing transactions serially within
+// each partition (serializable isolation, Figure 13's "single threaded
+// partition processing").
+//
+// Tables are either partitioned on a single column or replicated. Joins
+// between partitioned tables are only supported on equality of their
+// partitioning columns — the expressiveness restriction that leaves Q3, Q7,
+// Q9 and Q10 of the TPC-W workload unsupported (Figure 12) and forces the
+// paper to profile three different partitioning schemes.
+package newsql
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+)
+
+// Errors reported by the engine.
+var (
+	ErrUnsupportedJoin = errors.New("newsql: join of partitioned tables must be on partitioning columns")
+	ErrUnknownTable    = errors.New("newsql: unknown table")
+	ErrKeyRequired     = errors.New("newsql: write must specify the full primary key")
+)
+
+// Scheme assigns each table a partitioning column, or "" for replication.
+type Scheme struct {
+	Name string
+	// PartitionBy maps table -> partition column; absent tables are
+	// replicated.
+	PartitionBy map[string]string
+}
+
+// Partitioned reports the partition column of a table ("" = replicated).
+func (s Scheme) Partitioned(table string) string { return s.PartitionBy[table] }
+
+// memTable holds one table's rows in one partition, keyed by encoded PK.
+type memTable struct {
+	rows map[string]schema.Row
+}
+
+// partition executes serially: its mutex is the single-threaded execution
+// site of the VoltDB model.
+type partition struct {
+	mu     sync.Mutex
+	tables map[string]*memTable
+}
+
+func (p *partition) table(name string) *memTable {
+	t := p.tables[name]
+	if t == nil {
+		t = &memTable{rows: map[string]schema.Row{}}
+		p.tables[name] = t
+	}
+	return t
+}
+
+// Engine is one deployment under one partitioning scheme.
+type Engine struct {
+	sch    *schema.Schema
+	scheme Scheme
+	parts  []*partition
+	repl   *partition // replicated tables live here (single logical copy)
+	costs  *sim.Costs
+}
+
+// New builds an engine with nparts partitions (the paper's cluster hosts 5
+// VoltDB daemons).
+func New(sch *schema.Schema, scheme Scheme, nparts int, costs *sim.Costs) *Engine {
+	if nparts <= 0 {
+		nparts = 5
+	}
+	if costs == nil {
+		costs = sim.DefaultCosts()
+	}
+	e := &Engine{sch: sch, scheme: scheme, costs: costs, repl: &partition{tables: map[string]*memTable{}}}
+	for i := 0; i < nparts; i++ {
+		e.parts = append(e.parts, &partition{tables: map[string]*memTable{}})
+	}
+	return e
+}
+
+// Scheme returns the engine's partitioning scheme.
+func (e *Engine) Scheme() Scheme { return e.scheme }
+
+func (e *Engine) partitionFor(v schema.Value) *partition {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", v)
+	return e.parts[h.Sum64()%uint64(len(e.parts))]
+}
+
+// homes returns the partitions holding a table's data.
+func (e *Engine) homes(table string) []*partition {
+	if e.scheme.Partitioned(table) == "" {
+		return []*partition{e.repl}
+	}
+	return e.parts
+}
+
+// Load bulk-inserts rows (setup path; no latency charged).
+func (e *Engine) Load(table string, rows []schema.Row) error {
+	rel := e.sch.Relation(table)
+	if rel == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownTable, table)
+	}
+	pcol := e.scheme.Partitioned(table)
+	for _, r := range rows {
+		key := pkKey(rel, r)
+		if pcol == "" {
+			e.repl.table(table).rows[key] = r
+			continue
+		}
+		e.partitionFor(r[pcol]).table(table).rows[key] = r
+	}
+	return nil
+}
+
+func pkKey(rel *schema.Relation, r schema.Row) string {
+	vals := make([]schema.Value, len(rel.PK))
+	for i, c := range rel.PK {
+		vals[i] = r[c]
+	}
+	return schema.EncodeKey(vals...)
+}
+
+// RowCount reports total rows of a table.
+func (e *Engine) RowCount(table string) int {
+	n := 0
+	for _, p := range e.homes(table) {
+		p.mu.Lock()
+		if t := p.tables[table]; t != nil {
+			n += len(t.rows)
+		}
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// DatabaseBytes reports the packed-tuple storage footprint: VoltDB stores
+// typed tuples without per-cell key overhead, which is why its database is
+// the smallest in Table III.
+func (e *Engine) DatabaseBytes() int64 {
+	var total int64
+	seen := append([]*partition{e.repl}, e.parts...)
+	for _, p := range seen {
+		p.mu.Lock()
+		for _, t := range p.tables {
+			for _, r := range t.rows {
+				total += tupleBytes(r) + 8 // tuple header
+			}
+		}
+		p.mu.Unlock()
+	}
+	return total
+}
+
+func tupleBytes(r schema.Row) int64 {
+	var n int64
+	for _, v := range r {
+		switch x := v.(type) {
+		case string:
+			n += int64(len(x)) + 4
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Planning: routing and join-support checks
+
+// analyzeRouting decides single-partition vs multi-partition execution and
+// validates join support. It returns the partitions to lock.
+func (e *Engine) analyzeRouting(sel *sqlparser.SelectStmt, params []schema.Value) ([]*partition, error) {
+	binds := map[string]string{} // binding -> table ("" derived)
+	for _, ref := range sel.From {
+		if ref.Sub != nil {
+			binds[ref.Binding()] = ""
+			// Derived tables are validated recursively.
+			if _, err := e.analyzeRouting(ref.Sub, params); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if e.sch.Relation(ref.Name) == nil {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownTable, ref.Name)
+		}
+		binds[ref.Binding()] = ref.Name
+	}
+
+	// Join support: partitioned x partitioned joins must pair the two
+	// partitioning columns.
+	for _, p := range sel.JoinPredicates() {
+		l := p.Left.(sqlparser.ColumnRef)
+		r := p.Right.(sqlparser.ColumnRef)
+		lt, lok := binds[l.Table]
+		rt, rok := binds[r.Table]
+		if !lok || !rok || lt == "" || rt == "" {
+			continue // derived side: computed result joined at the coordinator
+		}
+		lp := e.scheme.Partitioned(lt)
+		rp := e.scheme.Partitioned(rt)
+		if lp == "" || rp == "" {
+			continue // replicated side joins freely
+		}
+		if l.Column != lp || r.Column != rp {
+			return nil, fmt.Errorf("%w: %s.%s = %s.%s under scheme %s",
+				ErrUnsupportedJoin, l.Table, l.Column, r.Table, r.Column, e.scheme.Name)
+		}
+	}
+
+	// Routing: a filter binding a partition column to a constant makes
+	// the statement single-partition.
+	for _, p := range sel.Where {
+		if p.Op != sqlparser.OpEq || p.IsJoin() {
+			continue
+		}
+		col, ok := p.Left.(sqlparser.ColumnRef)
+		if !ok {
+			continue
+		}
+		table := binds[col.Table]
+		if table == "" && col.Table == "" {
+			// Unqualified: find the owning table.
+			for _, t := range binds {
+				if t != "" && e.sch.Relation(t).HasColumn(col.Column) {
+					table = t
+					break
+				}
+			}
+		}
+		if table == "" || e.scheme.Partitioned(table) != col.Column {
+			continue
+		}
+		v, err := constValue(p.Right, params)
+		if err != nil {
+			continue
+		}
+		return []*partition{e.partitionFor(v)}, nil
+	}
+
+	// Multi-partition read: all partitions participate.
+	return e.parts, nil
+}
+
+func constValue(expr sqlparser.Expr, params []schema.Value) (schema.Value, error) {
+	switch x := expr.(type) {
+	case sqlparser.Literal:
+		return x.Value, nil
+	case sqlparser.Param:
+		if x.Index >= len(params) {
+			return nil, fmt.Errorf("newsql: missing parameter %d", x.Index)
+		}
+		return params[x.Index], nil
+	default:
+		return nil, fmt.Errorf("newsql: not a constant")
+	}
+}
+
+// lockAll acquires the partitions in address order (deadlock-free) — the
+// multi-partition coordinator of the VoltDB model.
+func lockAll(parts []*partition) func() {
+	sorted := append([]*partition(nil), parts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return fmt.Sprintf("%p", sorted[i]) < fmt.Sprintf("%p", sorted[j])
+	})
+	for _, p := range sorted {
+		p.mu.Lock()
+	}
+	return func() {
+		for _, p := range sorted {
+			p.mu.Unlock()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Query execution
+
+// Query executes a SELECT with serializable isolation.
+func (e *Engine) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) ([]schema.Row, error) {
+	parts, err := e.analyzeRouting(sel, params)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Charge(e.costs.NewSQLBase)
+	if len(parts) > 1 {
+		ctx.Charge(e.costs.NewSQLMultiPartition)
+	}
+	unlock := lockAll(append(parts, e.repl))
+	defer unlock()
+	return e.execSelect(ctx, sel, params)
+}
+
+// execSelect runs the relational pipeline in memory. Callers hold the
+// partition locks.
+func (e *Engine) execSelect(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) ([]schema.Row, error) {
+	type binding struct {
+		name string
+		rows []schema.Row
+	}
+	var bindings []binding
+	for _, ref := range sel.From {
+		b := binding{name: ref.Binding()}
+		if ref.Sub != nil {
+			sub, err := e.execSelect(ctx, ref.Sub, params)
+			if err != nil {
+				return nil, err
+			}
+			b.rows = sub
+		} else {
+			for _, p := range e.homes(ref.Name) {
+				if t := p.tables[ref.Name]; t != nil {
+					for _, r := range t.rows {
+						b.rows = append(b.rows, r)
+					}
+				}
+			}
+		}
+		bindings = append(bindings, b)
+	}
+
+	// Qualify tuples as binding.col.
+	qualify := func(b binding) []schema.Row {
+		out := make([]schema.Row, len(b.rows))
+		for i, r := range b.rows {
+			q := make(schema.Row, len(r))
+			for k, v := range r {
+				q[b.name+"."+k] = v
+			}
+			out[i] = q
+		}
+		return out
+	}
+
+	resolve := func(c sqlparser.ColumnRef, row schema.Row) (schema.Value, bool) {
+		if c.Table != "" {
+			v, ok := row[c.Table+"."+c.Column]
+			return v, ok
+		}
+		for k, v := range row {
+			if strings.HasSuffix(k, "."+c.Column) {
+				return v, true
+			}
+		}
+		v, ok := row[c.Column]
+		return v, ok
+	}
+
+	evalPred := func(p sqlparser.Predicate, row schema.Row) (bool, bool) {
+		l, lIsCol := p.Left.(sqlparser.ColumnRef)
+		r, rIsCol := p.Right.(sqlparser.ColumnRef)
+		var lv, rv schema.Value
+		if lIsCol {
+			v, ok := resolve(l, row)
+			if !ok {
+				return false, false
+			}
+			lv = v
+		} else {
+			v, err := constValue(p.Left, params)
+			if err != nil {
+				return false, false
+			}
+			lv = v
+		}
+		if rIsCol {
+			v, ok := resolve(r, row)
+			if !ok {
+				return false, false
+			}
+			rv = v
+		} else {
+			v, err := constValue(p.Right, params)
+			if err != nil {
+				return false, false
+			}
+			rv = v
+		}
+		cmp := schema.CompareValues(lv, rv)
+		switch p.Op {
+		case sqlparser.OpEq:
+			return cmp == 0, true
+		case sqlparser.OpNe:
+			return cmp != 0, true
+		case sqlparser.OpLt:
+			return cmp < 0, true
+		case sqlparser.OpLe:
+			return cmp <= 0, true
+		case sqlparser.OpGt:
+			return cmp > 0, true
+		case sqlparser.OpGe:
+			return cmp >= 0, true
+		}
+		return false, false
+	}
+
+	// resolve2 looks a column up across a pending join pair.
+	resolve2 := func(c sqlparser.ColumnRef, l, r schema.Row) (schema.Value, bool) {
+		if v, ok := resolve(c, l); ok {
+			return v, true
+		}
+		return resolve(c, r)
+	}
+	evalPredPair := func(p sqlparser.Predicate, l, r schema.Row) (bool, bool) {
+		var lv, rv schema.Value
+		if c, isCol := p.Left.(sqlparser.ColumnRef); isCol {
+			v, ok := resolve2(c, l, r)
+			if !ok {
+				return false, false
+			}
+			lv = v
+		} else {
+			v, err := constValue(p.Left, params)
+			if err != nil {
+				return false, false
+			}
+			lv = v
+		}
+		if c, isCol := p.Right.(sqlparser.ColumnRef); isCol {
+			v, ok := resolve2(c, l, r)
+			if !ok {
+				return false, false
+			}
+			rv = v
+		} else {
+			v, err := constValue(p.Right, params)
+			if err != nil {
+				return false, false
+			}
+			rv = v
+		}
+		cmp := schema.CompareValues(lv, rv)
+		switch p.Op {
+		case sqlparser.OpEq:
+			return cmp == 0, true
+		case sqlparser.OpNe:
+			return cmp != 0, true
+		case sqlparser.OpLt:
+			return cmp < 0, true
+		case sqlparser.OpLe:
+			return cmp <= 0, true
+		case sqlparser.OpGt:
+			return cmp > 0, true
+		case sqlparser.OpGe:
+			return cmp >= 0, true
+		}
+		return false, false
+	}
+
+	// Left-deep joins with predicates pushed into the pair loop (never
+	// materialize non-matching pairs) and hash buckets on the first
+	// connecting equi-join condition (VoltDB executes joins via indexes).
+	var current []schema.Row
+	for i, b := range bindings {
+		qrows := qualify(b)
+		if i == 0 {
+			kept := qrows[:0]
+			for _, row := range qrows {
+				ok := true
+				for _, p := range sel.Where {
+					res, decidable := evalPred(p, row)
+					if decidable && !res {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, row)
+				}
+			}
+			current = kept
+			continue
+		}
+
+		// Find an equi-join condition linking current to the new
+		// binding: decidable on (l) for one side, on (r) for the other.
+		var leftKey, rightKey *sqlparser.ColumnRef
+		if len(current) > 0 && len(qrows) > 0 {
+			for _, p := range sel.Where {
+				if p.Op != sqlparser.OpEq || !p.IsJoin() {
+					continue
+				}
+				lc := p.Left.(sqlparser.ColumnRef)
+				rc := p.Right.(sqlparser.ColumnRef)
+				_, lInCur := resolve(lc, current[0])
+				_, rInNew := resolve(rc, qrows[0])
+				if lInCur && rInNew {
+					leftKey, rightKey = &lc, &rc
+					break
+				}
+				_, rInCur := resolve(rc, current[0])
+				_, lInNew := resolve(lc, qrows[0])
+				if rInCur && lInNew {
+					leftKey, rightKey = &rc, &lc
+					break
+				}
+			}
+		}
+
+		var joined []schema.Row
+		tryPair := func(l, r schema.Row) {
+			for _, p := range sel.Where {
+				res, decidable := evalPredPair(p, l, r)
+				if decidable && !res {
+					return
+				}
+			}
+			m := make(schema.Row, len(l)+len(r))
+			for k, v := range l {
+				m[k] = v
+			}
+			for k, v := range r {
+				m[k] = v
+			}
+			joined = append(joined, m)
+		}
+
+		if leftKey != nil {
+			buckets := make(map[string][]schema.Row, len(qrows))
+			for _, r := range qrows {
+				v, _ := resolve(*rightKey, r)
+				buckets[fmt.Sprintf("%v", v)] = append(buckets[fmt.Sprintf("%v", v)], r)
+			}
+			for _, l := range current {
+				v, ok := resolve(*leftKey, l)
+				if !ok {
+					continue
+				}
+				for _, r := range buckets[fmt.Sprintf("%v", v)] {
+					tryPair(l, r)
+				}
+			}
+		} else {
+			for _, l := range current {
+				for _, r := range qrows {
+					tryPair(l, r)
+				}
+			}
+		}
+		current = joined
+	}
+	ctx.Charge(sim.Micros(int64(len(current)+1) * int64(e.costs.NewSQLRow)))
+
+	// Aggregation.
+	hasAgg := false
+	for _, it := range sel.Items {
+		if _, ok := it.Expr.(sqlparser.AggExpr); ok {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(sel.GroupBy) > 0 {
+		current = aggregate(sel, current, resolve)
+	}
+
+	// Order, limit.
+	if len(sel.OrderBy) > 0 {
+		n := len(current)
+		if n > 1 {
+			ctx.Charge(sim.Micros(int64(n) * int64(bits.Len(uint(n))) * int64(e.costs.NewSQLRow)))
+		}
+		sort.SliceStable(current, func(i, j int) bool {
+			for _, o := range sel.OrderBy {
+				li, _ := resolve(o.Col, current[i])
+				lj, _ := resolve(o.Col, current[j])
+				cmp := schema.CompareValues(li, lj)
+				if cmp == 0 {
+					continue
+				}
+				if o.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+	}
+	if sel.Limit > 0 && len(current) > sel.Limit {
+		current = current[:sel.Limit]
+	}
+
+	// Projection to friendly names.
+	out := make([]schema.Row, len(current))
+	for i, row := range current {
+		if sel.Star && !hasAgg {
+			pr := make(schema.Row, len(row))
+			for k, v := range row {
+				short := k
+				if idx := strings.LastIndex(k, "."); idx >= 0 {
+					short = k[idx+1:]
+				}
+				if _, dup := pr[short]; dup {
+					pr[k] = v // ambiguous: keep qualified
+					continue
+				}
+				pr[short] = v
+			}
+			out[i] = pr
+			continue
+		}
+		pr := schema.Row{}
+		for _, it := range sel.Items {
+			name := it.Alias
+			switch x := it.Expr.(type) {
+			case sqlparser.ColumnRef:
+				if name == "" {
+					name = x.Column
+				}
+				v, _ := resolve(x, row)
+				pr[name] = v
+			case sqlparser.AggExpr:
+				if name == "" {
+					name = x.String()
+				}
+				pr[name] = row[aggKey(it)]
+			}
+		}
+		out[i] = pr
+	}
+	return out, nil
+}
+
+func aggKey(it sqlparser.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	return it.Expr.String()
+}
+
+func aggregate(sel *sqlparser.SelectStmt, rows []schema.Row, resolve func(sqlparser.ColumnRef, schema.Row) (schema.Value, bool)) []schema.Row {
+	type state struct {
+		rep    schema.Row
+		counts map[string]int64
+		sums   map[string]float64
+		mins   map[string]schema.Value
+		maxs   map[string]schema.Value
+	}
+	groups := map[string]*state{}
+	var order []string
+	for _, row := range rows {
+		var kb strings.Builder
+		for _, g := range sel.GroupBy {
+			v, _ := resolve(g, row)
+			fmt.Fprintf(&kb, "%v\x00", v)
+		}
+		k := kb.String()
+		st := groups[k]
+		if st == nil {
+			st = &state{rep: row, counts: map[string]int64{}, sums: map[string]float64{},
+				mins: map[string]schema.Value{}, maxs: map[string]schema.Value{}}
+			groups[k] = st
+			order = append(order, k)
+		}
+		for _, it := range sel.Items {
+			agg, ok := it.Expr.(sqlparser.AggExpr)
+			if !ok {
+				continue
+			}
+			name := aggKey(it)
+			if agg.Star {
+				st.counts[name]++
+				continue
+			}
+			v, ok := resolve(*agg.Arg, row)
+			if !ok || v == nil {
+				continue
+			}
+			st.counts[name]++
+			switch x := v.(type) {
+			case int64:
+				st.sums[name] += float64(x)
+			case float64:
+				st.sums[name] += x
+			}
+			if cur, ok := st.mins[name]; !ok || schema.CompareValues(v, cur) < 0 {
+				st.mins[name] = v
+			}
+			if cur, ok := st.maxs[name]; !ok || schema.CompareValues(v, cur) > 0 {
+				st.maxs[name] = v
+			}
+		}
+	}
+	out := make([]schema.Row, 0, len(groups))
+	for _, k := range order {
+		st := groups[k]
+		row := st.rep.Clone()
+		for _, it := range sel.Items {
+			agg, ok := it.Expr.(sqlparser.AggExpr)
+			if !ok {
+				continue
+			}
+			name := aggKey(it)
+			switch agg.Fn {
+			case "COUNT":
+				row[name] = st.counts[name]
+			case "SUM":
+				if st.counts[name] > 0 {
+					s := st.sums[name]
+					if s == float64(int64(s)) {
+						row[name] = int64(s)
+					} else {
+						row[name] = s
+					}
+				}
+			case "AVG":
+				if st.counts[name] > 0 {
+					row[name] = st.sums[name] / float64(st.counts[name])
+				}
+			case "MIN":
+				row[name] = st.mins[name]
+			case "MAX":
+				row[name] = st.maxs[name]
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}

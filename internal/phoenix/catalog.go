@@ -1,0 +1,233 @@
+// Package phoenix is the SQL skin over the HBase-like store, playing the
+// role Apache Phoenix plays in the paper (§II-D): it maps relations and
+// covered indexes onto NoSQL tables via the baseline transformation, compiles
+// SQL into scans, coordinates client-side join execution, and maintains
+// indexes on writes. The Synergy system, the MVCC systems and the Baseline
+// system all execute their workloads through this layer.
+package phoenix
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"synergy/internal/hbase"
+	"synergy/internal/schema"
+)
+
+// Errors reported by the SQL layer.
+var (
+	ErrUnknownTable    = errors.New("phoenix: unknown table")
+	ErrUnknownColumn   = errors.New("phoenix: unknown column")
+	ErrUnsupported     = errors.New("phoenix: unsupported statement")
+	ErrKeyNotSpecified = errors.New("phoenix: write must specify every key attribute")
+	ErrDirtyRead       = errors.New("phoenix: dirty row observed")
+)
+
+// DirtyQualifier is the marker column Synergy sets on view rows while a
+// multi-row update is in flight (§VIII-B). Scans configured with dirty
+// checking restart when they observe it.
+const DirtyQualifier = "_dirty"
+
+// TableInfo describes one physical NoSQL table known to the catalog: a base
+// relation, a materialized view, or nothing (indexes are attached to their
+// table's info).
+type TableInfo struct {
+	Name string
+	// Cols lists stored attributes in declaration order.
+	Cols []schema.Column
+	// Key lists the row-key attributes in order: PK(R) for a base table,
+	// PK(V) = key of the view's last relation for a view (Definition 5).
+	Key []string
+	// Indexes are the covered indexes on this table.
+	Indexes []*IndexInfo
+	// IsView marks materialized views (subject to dirty-marking).
+	IsView bool
+	// BaseRelations lists the constituent relations for a view, in path
+	// order (root-most first); nil for base tables.
+	BaseRelations []string
+
+	colTypes map[string]schema.ColType
+}
+
+// IndexInfo describes an index: row key = On ++ table key. By default every
+// table column is stored (covered), so reads never hit the base table
+// (§II-A). KeyOnly indexes store just the key attributes — the shape of the
+// maintenance indexes of §VII-C, which exist to locate view rows, not to
+// answer queries.
+type IndexInfo struct {
+	Name    string
+	On      []string
+	KeyOnly bool
+}
+
+// Col returns the column type, with ok=false for unknown columns.
+func (t *TableInfo) Col(name string) (schema.ColType, bool) {
+	ct, ok := t.colTypes[name]
+	return ct, ok
+}
+
+// HasColumn reports whether the table stores the column.
+func (t *TableInfo) HasColumn(name string) bool {
+	_, ok := t.colTypes[name]
+	return ok
+}
+
+// ColumnNames lists stored attributes in order.
+func (t *TableInfo) ColumnNames() []string {
+	out := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Catalog maps SQL names onto NoSQL tables (the baseline schema
+// transformation of §II-D) and tracks views and indexes.
+type Catalog struct {
+	mu     sync.RWMutex
+	hc     *hbase.HCluster
+	tables map[string]*TableInfo
+	order  []string
+}
+
+// NewCatalog returns an empty catalog over the store.
+func NewCatalog(hc *hbase.HCluster) *Catalog {
+	return &Catalog{hc: hc, tables: map[string]*TableInfo{}}
+}
+
+// Store exposes the underlying store.
+func (c *Catalog) Store() *hbase.HCluster { return c.hc }
+
+func buildInfo(name string, cols []schema.Column, key []string) *TableInfo {
+	info := &TableInfo{Name: name, Cols: cols, Key: key, colTypes: map[string]schema.ColType{}}
+	for _, col := range cols {
+		info.colTypes[col.Name] = col.Type
+	}
+	for _, k := range key {
+		if !info.HasColumn(k) {
+			panic(fmt.Sprintf("phoenix: table %s key column %q not stored", name, k))
+		}
+	}
+	return info
+}
+
+// RegisterRelation creates the NoSQL table for a relation: same attributes,
+// row key = delimited concatenation of PK values, one column family (§II-D).
+func (c *Catalog) RegisterRelation(r *schema.Relation, spec hbase.TableSpec) (*TableInfo, error) {
+	return c.register(r.Name, r.Columns, r.PK, false, nil, spec)
+}
+
+// RegisterView creates the NoSQL table for a materialized view: attributes
+// are the union of the constituent relations' attributes, the key is the key
+// of the last relation in the view (Definition 5).
+func (c *Catalog) RegisterView(name string, cols []schema.Column, key []string, baseRelations []string, spec hbase.TableSpec) (*TableInfo, error) {
+	return c.register(name, cols, key, true, baseRelations, spec)
+}
+
+func (c *Catalog) register(name string, cols []schema.Column, key []string, isView bool, baseRels []string, spec hbase.TableSpec) (*TableInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[name]; dup {
+		return nil, fmt.Errorf("phoenix: table %q already registered", name)
+	}
+	info := buildInfo(name, cols, key)
+	info.IsView = isView
+	info.BaseRelations = append([]string(nil), baseRels...)
+	spec.Name = name
+	if err := c.hc.CreateTable(spec); err != nil {
+		return nil, err
+	}
+	c.tables[name] = info
+	c.order = append(c.order, name)
+	return info, nil
+}
+
+// RegisterIndex creates a covered index table named idx.Name on table: row
+// key = idx.On ++ table key; all table columns stored (§II-D: an index
+// becomes a relation in the NoSQL schema).
+func (c *Catalog) RegisterIndex(table string, idx IndexInfo, spec hbase.TableSpec) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tables[table]
+	if t == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownTable, table)
+	}
+	for _, col := range idx.On {
+		if !t.HasColumn(col) {
+			return fmt.Errorf("%w: %s.%s", ErrUnknownColumn, table, col)
+		}
+	}
+	for _, existing := range t.Indexes {
+		if existing.Name == idx.Name {
+			return fmt.Errorf("phoenix: index %q already registered", idx.Name)
+		}
+	}
+	spec.Name = idx.Name
+	if err := c.hc.CreateTable(spec); err != nil {
+		return err
+	}
+	ix := idx
+	t.Indexes = append(t.Indexes, &ix)
+	return nil
+}
+
+// Table returns the named table's info, or an error.
+func (c *Catalog) Table(name string) (*TableInfo, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t := c.tables[name]
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTable, name)
+	}
+	return t, nil
+}
+
+// Tables lists registered tables in registration order.
+func (c *Catalog) Tables() []*TableInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*TableInfo, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.tables[n])
+	}
+	return out
+}
+
+// Views lists registered views, sorted by name.
+func (c *Catalog) Views() []*TableInfo {
+	var out []*TableInfo
+	for _, t := range c.Tables() {
+		if t.IsView {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// IndexKey builds the row key of an index entry for the given row.
+func IndexKey(t *TableInfo, idx *IndexInfo, row schema.Row) string {
+	vals := make([]schema.Value, 0, len(idx.On)+len(t.Key))
+	for _, c := range idx.On {
+		vals = append(vals, row[c])
+	}
+	for _, c := range t.Key {
+		vals = append(vals, row[c])
+	}
+	return schema.EncodeKey(vals...)
+}
+
+// PrimaryKey builds the row key of a table row.
+func PrimaryKey(t *TableInfo, row schema.Row) (string, error) {
+	vals := make([]schema.Value, 0, len(t.Key))
+	for _, c := range t.Key {
+		v, ok := row[c]
+		if !ok || v == nil {
+			return "", fmt.Errorf("%w: %s.%s", ErrKeyNotSpecified, t.Name, c)
+		}
+		vals = append(vals, v)
+	}
+	return schema.EncodeKey(vals...), nil
+}

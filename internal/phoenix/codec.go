@@ -1,0 +1,93 @@
+package phoenix
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"synergy/internal/hbase"
+	"synergy/internal/schema"
+)
+
+// Value cell encoding: one type-tag byte followed by the payload. NULLs are
+// stored as absent cells, as Phoenix does.
+const (
+	tagInt    = 'i'
+	tagFloat  = 'f'
+	tagString = 's'
+)
+
+// EncodeValue renders a typed value into cell bytes.
+func EncodeValue(v schema.Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case int64:
+		buf := make([]byte, 9)
+		buf[0] = tagInt
+		binary.BigEndian.PutUint64(buf[1:], uint64(x))
+		return buf
+	case int:
+		return EncodeValue(int64(x))
+	case float64:
+		buf := make([]byte, 9)
+		buf[0] = tagFloat
+		binary.BigEndian.PutUint64(buf[1:], math.Float64bits(x))
+		return buf
+	case string:
+		buf := make([]byte, 1+len(x))
+		buf[0] = tagString
+		copy(buf[1:], x)
+		return buf
+	default:
+		panic(fmt.Sprintf("phoenix: unencodable value %T", v))
+	}
+}
+
+// DecodeValue parses cell bytes back into a typed value.
+func DecodeValue(b []byte) schema.Value {
+	if len(b) == 0 {
+		return nil
+	}
+	switch b[0] {
+	case tagInt:
+		return int64(binary.BigEndian.Uint64(b[1:]))
+	case tagFloat:
+		return math.Float64frombits(binary.BigEndian.Uint64(b[1:]))
+	case tagString:
+		return string(b[1:])
+	default:
+		panic(fmt.Sprintf("phoenix: bad value tag %q", b[0]))
+	}
+}
+
+// RowToCells encodes a row's non-nil attributes as cells.
+func RowToCells(row schema.Row) []hbase.Cell {
+	cells := make([]hbase.Cell, 0, len(row))
+	for col, v := range row {
+		if v == nil {
+			continue
+		}
+		cells = append(cells, hbase.Cell{Qualifier: col, Value: EncodeValue(v)})
+	}
+	return cells
+}
+
+// CellsToRow decodes a stored row back into typed attributes. Marker columns
+// (leading underscore) are skipped.
+func CellsToRow(res hbase.RowResult) schema.Row {
+	row := make(schema.Row, len(res.Cells))
+	for q, v := range res.Cells {
+		if len(q) > 0 && q[0] == '_' {
+			continue
+		}
+		row[q] = DecodeValue(v)
+	}
+	return row
+}
+
+// IsDirty reports whether a stored row carries the Synergy dirty marker.
+func IsDirty(res hbase.RowResult) bool {
+	v, ok := res.Cells[DirtyQualifier]
+	return ok && len(v) > 0 && v[len(v)-1] == '1'
+}

@@ -1,0 +1,335 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"synergy/internal/hbase"
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+)
+
+// WriteOpts control DML execution.
+type WriteOpts struct {
+	// TS stamps every written cell (and tombstone) with an explicit
+	// timestamp; 0 uses the server clock. MVCC transactions set this to
+	// their transaction id.
+	TS int64
+	// Read applies visibility filters to the read-before-write.
+	Read hbase.ReadOpts
+	// OnWrite, when set, observes each (table, rowKey) mutation — the
+	// MVCC layer collects the transaction's write set through it.
+	OnWrite func(table, rowKey string)
+}
+
+func (o WriteOpts) Notify(table, key string) {
+	if o.OnWrite != nil {
+		o.OnWrite(table, key)
+	}
+}
+
+// Exec executes a write statement (INSERT, UPDATE or DELETE). In agreement
+// with the paper's restrictions (§IV), writes must specify every key
+// attribute and affect a single base-table row.
+func (e *Engine) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value, opts WriteOpts) error {
+	switch s := stmt.(type) {
+	case *sqlparser.InsertStmt:
+		return e.execInsert(ctx, s, params, opts)
+	case *sqlparser.UpdateStmt:
+		return e.execUpdate(ctx, s, params, opts)
+	case *sqlparser.DeleteStmt:
+		return e.execDelete(ctx, s, params, opts)
+	default:
+		return fmt.Errorf("%w: %T", ErrUnsupported, stmt)
+	}
+}
+
+func evalConst(e sqlparser.Expr, params []schema.Value) (schema.Value, error) {
+	switch x := e.(type) {
+	case sqlparser.Literal:
+		return x.Value, nil
+	case sqlparser.Param:
+		if x.Index >= len(params) {
+			return nil, fmt.Errorf("phoenix: missing parameter %d", x.Index)
+		}
+		return params[x.Index], nil
+	default:
+		return nil, fmt.Errorf("%w: non-constant expression %s", ErrUnsupported, e)
+	}
+}
+
+// keyFromWhere extracts the full-key equality values from a WHERE clause,
+// erroring when any key attribute is unbound (multi-row writes are not
+// supported, §IV).
+func keyFromWhere(t *TableInfo, where []sqlparser.Predicate, params []schema.Value) (schema.Row, error) {
+	bound := schema.Row{}
+	for _, p := range where {
+		col, ok := p.Left.(sqlparser.ColumnRef)
+		if !ok || p.Op != sqlparser.OpEq {
+			return nil, fmt.Errorf("%w: write WHERE must be key equality, got %s", ErrUnsupported, p)
+		}
+		v, err := evalConst(p.Right, params)
+		if err != nil {
+			return nil, err
+		}
+		bound[col.Column] = v
+	}
+	for _, k := range t.Key {
+		if _, ok := bound[k]; !ok {
+			return nil, fmt.Errorf("%w: %s.%s", ErrKeyNotSpecified, t.Name, k)
+		}
+	}
+	return bound, nil
+}
+
+func (e *Engine) execInsert(ctx *sim.Ctx, s *sqlparser.InsertStmt, params []schema.Value, opts WriteOpts) error {
+	t, err := e.cat.Table(s.Table)
+	if err != nil {
+		return err
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = t.ColumnNames()
+	}
+	if len(cols) != len(s.Values) {
+		return fmt.Errorf("phoenix: %d columns, %d values", len(cols), len(s.Values))
+	}
+	row := schema.Row{}
+	for i, c := range cols {
+		if !t.HasColumn(c) {
+			return fmt.Errorf("%w: %s.%s", ErrUnknownColumn, s.Table, c)
+		}
+		v, err := evalConst(s.Values[i], params)
+		if err != nil {
+			return err
+		}
+		row[c] = v
+	}
+	return e.PutRow(ctx, t, row, opts)
+}
+
+// IndexRowContent projects the stored content of an index entry: the full row for
+// covered indexes, just the key attributes for key-only (maintenance)
+// indexes.
+func IndexRowContent(t *TableInfo, idx *IndexInfo, row schema.Row) schema.Row {
+	if !idx.KeyOnly {
+		return row
+	}
+	out := schema.Row{}
+	for _, c := range idx.On {
+		out[c] = row[c]
+	}
+	for _, c := range t.Key {
+		out[c] = row[c]
+	}
+	return out
+}
+
+// IndexTouched reports whether an assignment affects an index's stored
+// content.
+func IndexTouched(t *TableInfo, idx *IndexInfo, assign schema.Row) bool {
+	if !idx.KeyOnly {
+		return true
+	}
+	for _, c := range idx.On {
+		if _, ok := assign[c]; ok {
+			return true
+		}
+	}
+	for _, c := range t.Key {
+		if _, ok := assign[c]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// PutRow writes one full row to a table and all of its indexes (Phoenix
+// maintains indexes synchronously on the write path).
+func (e *Engine) PutRow(ctx *sim.Ctx, t *TableInfo, row schema.Row, opts WriteOpts) error {
+	key, err := PrimaryKey(t, row)
+	if err != nil {
+		return err
+	}
+	cells := RowToCells(row)
+	for i := range cells {
+		cells[i].TS = opts.TS
+	}
+	if err := e.client.Put(ctx, t.Name, key, cells); err != nil {
+		return err
+	}
+	opts.Notify(t.Name, key)
+	for _, idx := range t.Indexes {
+		ikey := IndexKey(t, idx, row)
+		icells := RowToCells(IndexRowContent(t, idx, row))
+		for i := range icells {
+			icells[i].TS = opts.TS
+		}
+		if err := e.client.Put(ctx, idx.Name, ikey, icells); err != nil {
+			return err
+		}
+		opts.Notify(idx.Name, ikey)
+	}
+	return nil
+}
+
+// GetRow reads one row by primary key values.
+func (e *Engine) GetRow(ctx *sim.Ctx, t *TableInfo, read hbase.ReadOpts, keyVals ...schema.Value) (schema.Row, bool, error) {
+	if len(keyVals) != len(t.Key) {
+		return nil, false, fmt.Errorf("%w: %s wants %d key values, got %d", ErrKeyNotSpecified, t.Name, len(t.Key), len(keyVals))
+	}
+	res, err := e.client.Get(ctx, t.Name, schema.EncodeKey(keyVals...), read)
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Empty() {
+		return nil, false, nil
+	}
+	return CellsToRow(res), true, nil
+}
+
+func (e *Engine) execUpdate(ctx *sim.Ctx, s *sqlparser.UpdateStmt, params []schema.Value, opts WriteOpts) error {
+	t, err := e.cat.Table(s.Table)
+	if err != nil {
+		return err
+	}
+	bound, err := keyFromWhere(t, s.Where, params)
+	if err != nil {
+		return err
+	}
+	assign := schema.Row{}
+	for _, a := range s.Set {
+		if !t.HasColumn(a.Column) {
+			return fmt.Errorf("%w: %s.%s", ErrUnknownColumn, s.Table, a.Column)
+		}
+		v, err := evalConst(a.Value, params)
+		if err != nil {
+			return err
+		}
+		assign[a.Column] = v
+	}
+	keyVals := make([]schema.Value, len(t.Key))
+	for i, k := range t.Key {
+		keyVals[i] = bound[k]
+		if _, changed := assign[k]; changed {
+			return fmt.Errorf("%w: cannot update key attribute %s.%s", ErrUnsupported, t.Name, k)
+		}
+	}
+	return e.UpdateRow(ctx, t, keyVals, assign, opts)
+}
+
+// UpdateRow applies assignments to one row identified by key values,
+// maintaining indexes.
+func (e *Engine) UpdateRow(ctx *sim.Ctx, t *TableInfo, keyVals []schema.Value, assign schema.Row, opts WriteOpts) error {
+	old, found, err := e.GetRow(ctx, t, opts.Read, keyVals...)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return nil // SQL UPDATE of a missing row affects zero rows
+	}
+	updated := old.Clone()
+	for c, v := range assign {
+		updated[c] = v
+	}
+	key := schema.EncodeKey(keyVals...)
+	cells := RowToCells(assign)
+	for i := range cells {
+		cells[i].TS = opts.TS
+	}
+	if err := e.client.Put(ctx, t.Name, key, cells); err != nil {
+		return err
+	}
+	opts.Notify(t.Name, key)
+
+	for _, idx := range t.Indexes {
+		oldKey := IndexKey(t, idx, old)
+		newKey := IndexKey(t, idx, updated)
+		if oldKey != newKey {
+			if err := e.client.DeleteAt(ctx, idx.Name, oldKey, opts.TS); err != nil {
+				return err
+			}
+			opts.Notify(idx.Name, oldKey)
+			icells := RowToCells(IndexRowContent(t, idx, updated))
+			for i := range icells {
+				icells[i].TS = opts.TS
+			}
+			if err := e.client.Put(ctx, idx.Name, newKey, icells); err != nil {
+				return err
+			}
+			opts.Notify(idx.Name, newKey)
+			continue
+		}
+		if !IndexTouched(t, idx, assign) {
+			continue // key-only index content unchanged
+		}
+		icells := RowToCells(IndexRowContent(t, idx, assign))
+		for i := range icells {
+			icells[i].TS = opts.TS
+		}
+		if len(icells) == 0 {
+			continue
+		}
+		if err := e.client.Put(ctx, idx.Name, newKey, icells); err != nil {
+			return err
+		}
+		opts.Notify(idx.Name, newKey)
+	}
+	return nil
+}
+
+func (e *Engine) execDelete(ctx *sim.Ctx, s *sqlparser.DeleteStmt, params []schema.Value, opts WriteOpts) error {
+	t, err := e.cat.Table(s.Table)
+	if err != nil {
+		return err
+	}
+	bound, err := keyFromWhere(t, s.Where, params)
+	if err != nil {
+		return err
+	}
+	keyVals := make([]schema.Value, len(t.Key))
+	for i, k := range t.Key {
+		keyVals[i] = bound[k]
+	}
+	return e.DeleteRow(ctx, t, keyVals, opts)
+}
+
+// DeleteRow removes one row by key values, cleaning up index entries.
+func (e *Engine) DeleteRow(ctx *sim.Ctx, t *TableInfo, keyVals []schema.Value, opts WriteOpts) error {
+	old, found, err := e.GetRow(ctx, t, opts.Read, keyVals...)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return nil
+	}
+	key := schema.EncodeKey(keyVals...)
+	if err := e.client.DeleteAt(ctx, t.Name, key, opts.TS); err != nil {
+		return err
+	}
+	opts.Notify(t.Name, key)
+	for _, idx := range t.Indexes {
+		ikey := IndexKey(t, idx, old)
+		if err := e.client.DeleteAt(ctx, idx.Name, ikey, opts.TS); err != nil {
+			return err
+		}
+		opts.Notify(idx.Name, ikey)
+	}
+	return nil
+}
+
+// ScanAll reads every row of a table (used by view builders and tests).
+func (e *Engine) ScanAll(ctx *sim.Ctx, table string, read hbase.ReadOpts) ([]schema.Row, error) {
+	sc, err := e.client.Scan(ctx, table, hbase.ScanSpec{Read: read})
+	if err != nil {
+		return nil, err
+	}
+	var out []schema.Row
+	for {
+		r, ok := sc.Next(ctx)
+		if !ok {
+			return out, nil
+		}
+		out = append(out, CellsToRow(r))
+	}
+}

@@ -1,0 +1,113 @@
+package schema
+
+// Company builds the example Company database schema of Figure 2, used
+// throughout §V and §VI to illustrate candidate view generation and views
+// selection. Tests mirror the paper's worked example against it.
+func Company() *Schema {
+	s := New()
+	s.AddRelation(&Relation{
+		Name: "Address",
+		Columns: []Column{
+			{Name: "AID", Type: TInt},
+			{Name: "Street", Type: TString},
+			{Name: "City", Type: TString},
+			{Name: "Zip", Type: TString},
+		},
+		PK: []string{"AID"},
+	})
+	s.AddRelation(&Relation{
+		Name: "Department",
+		Columns: []Column{
+			{Name: "DNo", Type: TInt},
+			{Name: "DName", Type: TString},
+		},
+		PK: []string{"DNo"},
+	})
+	s.AddRelation(&Relation{
+		Name: "Employee",
+		Columns: []Column{
+			{Name: "EID", Type: TInt},
+			{Name: "EName", Type: TString},
+			{Name: "EHome_AID", Type: TInt},
+			{Name: "EOffice_AID", Type: TInt},
+			{Name: "E_DNo", Type: TInt},
+		},
+		PK: []string{"EID"},
+		FKs: []ForeignKey{
+			{Cols: []string{"EHome_AID"}, RefTable: "Address"},
+			{Cols: []string{"EOffice_AID"}, RefTable: "Address"},
+			{Cols: []string{"E_DNo"}, RefTable: "Department"},
+		},
+	})
+	s.AddRelation(&Relation{
+		Name: "Department_Location",
+		Columns: []Column{
+			{Name: "DL_DNo", Type: TInt},
+			{Name: "DLocation", Type: TString},
+		},
+		PK: []string{"DL_DNo", "DLocation"},
+		FKs: []ForeignKey{
+			{Cols: []string{"DL_DNo"}, RefTable: "Department"},
+		},
+	})
+	s.AddRelation(&Relation{
+		Name: "Project",
+		Columns: []Column{
+			{Name: "PNo", Type: TInt},
+			{Name: "PName", Type: TString},
+			{Name: "P_DNo", Type: TInt},
+		},
+		PK: []string{"PNo"},
+		FKs: []ForeignKey{
+			{Cols: []string{"P_DNo"}, RefTable: "Department"},
+		},
+	})
+	s.AddRelation(&Relation{
+		Name: "Works_On",
+		Columns: []Column{
+			{Name: "WO_EID", Type: TInt},
+			{Name: "WO_PNo", Type: TInt},
+			{Name: "Hours", Type: TInt},
+		},
+		PK: []string{"WO_EID", "WO_PNo"},
+		FKs: []ForeignKey{
+			{Cols: []string{"WO_EID"}, RefTable: "Employee"},
+			{Cols: []string{"WO_PNo"}, RefTable: "Project"},
+		},
+	})
+	s.AddRelation(&Relation{
+		Name: "Dependent",
+		Columns: []Column{
+			{Name: "DP_EID", Type: TInt},
+			{Name: "DPName", Type: TString},
+			{Name: "DPHome_AID", Type: TInt},
+		},
+		PK: []string{"DP_EID", "DPName"},
+		FKs: []ForeignKey{
+			{Cols: []string{"DP_EID"}, RefTable: "Employee"},
+			{Cols: []string{"DPHome_AID"}, RefTable: "Address"},
+		},
+	})
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// CompanyRoots is the roots set Q_company = {Address, Department} used in
+// the paper's worked example (Figure 4).
+func CompanyRoots() []string { return []string{"Address", "Department"} }
+
+// CompanyWorkload is the synthetic workload W_company = {w1, w2, w3} of
+// §V-B2.
+func CompanyWorkload() []string {
+	return []string{
+		// W1: address details of an employee.
+		`SELECT * FROM Employee as e, Address as a WHERE a.AID = e.EHome_AID and e.EID = ?`,
+		// W2: employees and their hours in a department.
+		`SELECT * FROM Department as d, Employee as e, Works_On as wo
+		 WHERE d.DNo = e.E_DNo and e.EID = wo.WO_EID and d.DNo = ?`,
+		// W3: employees who work a certain number of hours.
+		`SELECT * FROM Employee as e, Works_On as wo WHERE e.EID = wo.WO_EID and wo.Hours = ?`,
+	}
+}

@@ -1,0 +1,208 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a directed edge of the schema graph from a parent relation Ri to a
+// child relation Rj, represented as the (PK, FK) tuple of Definition 2: PK is
+// the primary key of the parent and FK the referencing foreign key of the
+// child.
+type Edge struct {
+	Parent string
+	Child  string
+	PK     []string // primary key columns of Parent
+	FK     []string // foreign key columns of Child
+}
+
+// ID identifies the edge uniquely, including which FK it uses (a child can
+// reference the same parent twice, e.g. Employee's home and office
+// addresses).
+func (e Edge) ID() string {
+	return fmt.Sprintf("%s->%s[%s]", e.Parent, e.Child, strings.Join(e.FK, ","))
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("(%s , %s)", strings.Join(e.PK, ","), strings.Join(e.FK, ","))
+}
+
+// Graph is the schema graph G = (H, E) of §V: vertices are relations, edges
+// encode key/foreign-key relationships (Definition 1).
+type Graph struct {
+	nodes []string
+	edges []Edge
+}
+
+// BuildGraph derives the schema graph from the relations' foreign keys.
+func BuildGraph(s *Schema) *Graph {
+	g := &Graph{nodes: s.RelationNames()}
+	for _, child := range s.Relations() {
+		for _, fk := range child.FKs {
+			parent := s.Relation(fk.RefTable)
+			if parent == nil {
+				panic(fmt.Sprintf("schema: %s references unknown %q", child.Name, fk.RefTable))
+			}
+			g.edges = append(g.edges, Edge{
+				Parent: parent.Name,
+				Child:  child.Name,
+				PK:     append([]string(nil), parent.PK...),
+				FK:     append([]string(nil), fk.Cols...),
+			})
+		}
+	}
+	return g
+}
+
+// NewGraph builds a graph from explicit nodes and edges (used by tests and
+// by the candidate-views mechanism when deriving the DAG).
+func NewGraph(nodes []string, edges []Edge) *Graph {
+	return &Graph{nodes: append([]string(nil), nodes...), edges: append([]Edge(nil), edges...)}
+}
+
+// Nodes lists the relations.
+func (g *Graph) Nodes() []string { return append([]string(nil), g.nodes...) }
+
+// Edges lists all edges.
+func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.edges...) }
+
+// OutEdges lists edges leaving parent, in insertion order.
+func (g *Graph) OutEdges(parent string) []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if e.Parent == parent {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges lists edges entering child.
+func (g *Graph) InEdges(child string) []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if e.Child == child {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// HasNode reports membership.
+func (g *Graph) HasNode(name string) bool {
+	for _, n := range g.nodes {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TopoSort returns a deterministic topological ordering of the graph's
+// nodes (ties broken alphabetically). It fails if the graph has a cycle; the
+// paper assumes schemas free of circular references (§V).
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n] = 0
+	}
+	// Parallel edges between the same pair both count; a node is ready
+	// only when every incoming edge's parent has been emitted. Count
+	// distinct incoming edges.
+	for _, e := range g.edges {
+		indeg[e.Child]++
+	}
+	ready := make([]string, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Strings(ready)
+	var order []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		newly := []string{}
+		for _, e := range g.OutEdges(n) {
+			indeg[e.Child]--
+			if indeg[e.Child] == 0 {
+				newly = append(newly, e.Child)
+			}
+		}
+		sort.Strings(newly)
+		ready = append(ready, newly...)
+		sort.Strings(ready)
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("schema: graph has a cycle; %d of %d nodes ordered", len(order), len(g.nodes))
+	}
+	return order, nil
+}
+
+// Path is an alternating sequence of relations and edges (Definition 3),
+// beginning and ending in a relation.
+type Path struct {
+	Relations []string
+	Edges     []Edge
+}
+
+// Start and End return the path's endpoints.
+func (p Path) Start() string { return p.Relations[0] }
+func (p Path) End() string   { return p.Relations[len(p.Relations)-1] }
+
+func (p Path) String() string {
+	var b strings.Builder
+	for i, r := range p.Relations {
+		if i > 0 {
+			b.WriteString(" - ")
+		}
+		b.WriteString(r)
+	}
+	return b.String()
+}
+
+// Contains reports whether the path visits the relation.
+func (p Path) Contains(rel string) bool {
+	for _, r := range p.Relations {
+		if r == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// Paths enumerates every simple directed path from one relation to another.
+// The graph must be acyclic (guaranteed after the DAG transformation of
+// §V-B2 step 1); on cyclic graphs enumeration still terminates because paths
+// are simple.
+func (g *Graph) Paths(from, to string) []Path {
+	var out []Path
+	var walk func(cur string, rels []string, edges []Edge)
+	walk = func(cur string, rels []string, edges []Edge) {
+		if cur == to {
+			out = append(out, Path{
+				Relations: append([]string(nil), rels...),
+				Edges:     append([]Edge(nil), edges...),
+			})
+			return
+		}
+		for _, e := range g.OutEdges(cur) {
+			visited := false
+			for _, r := range rels {
+				if r == e.Child {
+					visited = true
+					break
+				}
+			}
+			if visited {
+				continue
+			}
+			walk(e.Child, append(rels, e.Child), append(edges, e))
+		}
+	}
+	walk(from, []string{from}, nil)
+	return out
+}

@@ -1,0 +1,187 @@
+package sdfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"synergy/internal/cluster"
+	"synergy/internal/sim"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	return NewFS(cluster.NewDefault(nil), 3)
+}
+
+func TestCreateAppendRead(t *testing.T) {
+	fs := newFS(t)
+	ctx := sim.NewCtx()
+	if err := fs.Create(ctx, "/wal/slave-0.log"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(ctx, "/wal/slave-0.log", []byte("edit-1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(ctx, "/wal/slave-0.log", []byte("edit-2\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll(ctx, "/wal/slave-0.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte("edit-1\nedit-2\n"); !bytes.Equal(got, want) {
+		t.Fatalf("ReadAll = %q, want %q", got, want)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs := newFS(t)
+	ctx := sim.NewCtx()
+	if err := fs.Create(ctx, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create(ctx, "/a"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create error = %v, want ErrExists", err)
+	}
+}
+
+func TestAppendCreatesImplicitly(t *testing.T) {
+	fs := newFS(t)
+	ctx := sim.NewCtx()
+	if err := fs.Append(ctx, "/implicit", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/implicit") {
+		t.Fatal("append should create the file")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.ReadAll(sim.NewCtx(), "/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := newFS(t)
+	ctx := sim.NewCtx()
+	fs.Append(ctx, "/f", []byte("data"))
+	if err := fs.Delete(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/f") {
+		t.Fatal("file still exists after delete")
+	}
+	if err := fs.Delete(ctx, "/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second delete error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestListSortedByPrefix(t *testing.T) {
+	fs := newFS(t)
+	ctx := sim.NewCtx()
+	for _, p := range []string{"/wal/b", "/wal/a", "/hfiles/x"} {
+		fs.Append(ctx, p, []byte("1"))
+	}
+	got := fs.List("/wal/")
+	if len(got) != 2 || got[0] != "/wal/a" || got[1] != "/wal/b" {
+		t.Fatalf("List(/wal/) = %v", got)
+	}
+}
+
+func TestReplicationAccounting(t *testing.T) {
+	fs := newFS(t)
+	ctx := sim.NewCtx()
+	payload := make([]byte, 1000)
+	fs.Append(ctx, "/f", payload)
+	if got := fs.TotalBytes(); got != 1000 {
+		t.Fatalf("TotalBytes = %d, want 1000", got)
+	}
+	if got := fs.ReplicatedBytes(); got != 3000 {
+		t.Fatalf("ReplicatedBytes = %d, want 3000 (3x replication)", got)
+	}
+}
+
+func TestReplicationCappedByDatanodes(t *testing.T) {
+	cl := cluster.New(nil)
+	cl.AddNode("master-0", cluster.RoleMaster)
+	cl.AddNode("client-0", cluster.RoleClient)
+	cl.AddNode("slave-0", cluster.RoleSlave)
+	cl.AddNode("slave-1", cluster.RoleSlave)
+	fs := NewFS(cl, 3)
+	if got := fs.Replication(); got != 2 {
+		t.Fatalf("replication = %d, want 2 (capped at datanode count)", got)
+	}
+}
+
+func TestAppendPipelineCharges(t *testing.T) {
+	costs := sim.DefaultCosts()
+	fs := NewFS(cluster.NewDefault(costs), 3)
+	ctx := sim.NewCtx()
+	fs.Append(ctx, "/wal", []byte("record"))
+	// Expect at least 3 RPC hops (one per replica in the pipeline).
+	if s := ctx.Snapshot(); s.RPCs < 3 {
+		t.Fatalf("pipeline RPCs = %d, want >= 3", s.RPCs)
+	}
+	if ctx.Elapsed() < 3*costs.RPC {
+		t.Fatalf("pipeline elapsed = %v, want >= %v", ctx.Elapsed(), 3*costs.RPC)
+	}
+}
+
+func TestBlockRollover(t *testing.T) {
+	fs := newFS(t)
+	fs.blockSize = 10 // tiny blocks to force rollover
+	ctx := sim.NewCtx()
+	data := []byte("0123456789abcdefghij!") // 21 bytes -> 3 blocks
+	fs.Append(ctx, "/big", data)
+	got, err := fs.ReadAll(ctx, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip across blocks corrupted data: %q", got)
+	}
+	fs.mu.RLock()
+	nblocks := len(fs.files["/big"].blocks)
+	fs.mu.RUnlock()
+	if nblocks != 3 {
+		t.Fatalf("blocks = %d, want 3", nblocks)
+	}
+}
+
+func TestConcurrentAppendsDoNotRace(t *testing.T) {
+	fs := newFS(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := sim.NewCtx()
+			path := fmt.Sprintf("/wal/%d", i)
+			for j := 0; j < 100; j++ {
+				fs.Append(ctx, path, []byte("r"))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := fs.TotalBytes(); got != 800 {
+		t.Fatalf("TotalBytes = %d, want 800", got)
+	}
+}
+
+func TestLength(t *testing.T) {
+	fs := newFS(t)
+	ctx := sim.NewCtx()
+	fs.Append(ctx, "/f", []byte("hello"))
+	n, err := fs.Length("/f")
+	if err != nil || n != 5 {
+		t.Fatalf("Length = %d, %v; want 5, nil", n, err)
+	}
+	if _, err := fs.Length("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Length(missing) err = %v, want ErrNotFound", err)
+	}
+}

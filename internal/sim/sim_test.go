@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMicrosString(t *testing.T) {
+	cases := []struct {
+		in   Micros
+		want string
+	}{
+		{500, "500µs"},
+		{1500, "1.50ms"},
+		{2_500_000, "2.50s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Micros(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFromMillis(t *testing.T) {
+	if got := FromMillis(1.5); got != 1500 {
+		t.Fatalf("FromMillis(1.5) = %d, want 1500", got)
+	}
+	if got := FromMillis(0.35); got != 350 {
+		t.Fatalf("FromMillis(0.35) = %d, want 350", got)
+	}
+}
+
+func TestCtxChargeAccumulates(t *testing.T) {
+	ctx := NewCtx()
+	ctx.Charge(100)
+	ctx.Charge(250)
+	if got := ctx.Elapsed(); got != 350 {
+		t.Fatalf("Elapsed = %d, want 350", got)
+	}
+	ctx.Reset()
+	if got := ctx.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed after Reset = %d, want 0", got)
+	}
+}
+
+func TestCtxChargeIgnoresNonPositive(t *testing.T) {
+	ctx := NewCtx()
+	ctx.Charge(0)
+	ctx.Charge(-5)
+	if got := ctx.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed = %d, want 0", got)
+	}
+}
+
+func TestNilCtxIsSafe(t *testing.T) {
+	var ctx *Ctx
+	ctx.Charge(100) // must not panic
+	ctx.CountRPC()
+	ctx.CountLock()
+	if ctx.Elapsed() != 0 {
+		t.Fatal("nil ctx should report zero elapsed")
+	}
+	if s := ctx.Snapshot(); s.RPCs != 0 {
+		t.Fatal("nil ctx snapshot should be zero")
+	}
+}
+
+func TestCtxConcurrentCharge(t *testing.T) {
+	ctx := NewCtx()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				ctx.Charge(1)
+				ctx.CountRPC()
+				ctx.CountRowsScanned(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctx.Elapsed(); got != workers*per {
+		t.Fatalf("Elapsed = %d, want %d", got, workers*per)
+	}
+	s := ctx.Snapshot()
+	if s.RPCs != workers*per {
+		t.Fatalf("RPCs = %d, want %d", s.RPCs, workers*per)
+	}
+	if s.RowsScanned != 2*workers*per {
+		t.Fatalf("RowsScanned = %d, want %d", s.RowsScanned, 2*workers*per)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42).Derive("stream")
+	b := NewRNG(42).Derive("stream")
+	for i := 0; i < 100; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("derived streams diverge at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	root := NewRNG(42)
+	a := root.Derive("a")
+	b := root.Derive("b")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams %q and %q coincide %d/64 times; expected independence", "a", "b", same)
+	}
+}
+
+func TestRNGIntRange(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := g.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d out of range", v)
+		}
+	}
+	if g.IntRange(7, 7) != 7 {
+		t.Fatal("degenerate range should return lo")
+	}
+	if g.IntRange(9, 3) != 9 {
+		t.Fatal("inverted range should return lo")
+	}
+}
+
+func TestRNGString(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		s := g.String(3, 8)
+		if len(s) < 3 || len(s) > 8 {
+			t.Fatalf("String(3,8) length %d out of range", len(s))
+		}
+	}
+}
+
+func TestJitterStaysPositive(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 10_000; i++ {
+		if v := g.Jitter(FromMillis(10), 0.5); v <= 0 {
+			t.Fatalf("Jitter produced non-positive %d", v)
+		}
+	}
+}
+
+func TestPerByteCostMul(t *testing.T) {
+	var c PerByteCost = 2 // 2 ns per byte
+	if got := c.Mul(1000); got != 2 {
+		t.Fatalf("Mul(1000) = %d, want 2", got)
+	}
+	if got := c.Mul(1_000_000); got != 2000 {
+		t.Fatalf("Mul(1e6) = %d, want 2000", got)
+	}
+}
+
+// Property: charging any sequence of non-negative amounts yields their sum.
+func TestCtxChargeSumProperty(t *testing.T) {
+	f := func(amounts []uint16) bool {
+		ctx := NewCtx()
+		var want int64
+		for _, a := range amounts {
+			ctx.Charge(Micros(a))
+			want += int64(a)
+		}
+		return int64(ctx.Elapsed()) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Derive is a pure function of (seed, name).
+func TestDeriveDeterministicProperty(t *testing.T) {
+	f := func(seed int64, name string) bool {
+		return NewRNG(seed).Derive(name).Int63() == NewRNG(seed).Derive(name).Int63()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCostsSane(t *testing.T) {
+	c := DefaultCosts()
+	if c.RPC <= 0 || c.ScanNextRow <= 0 || c.ScannerBatch <= 0 {
+		t.Fatal("default costs must be positive")
+	}
+	// MVCC overhead must land in the 800-900ms band the paper measures.
+	total := c.MVCCBegin + c.MVCCCommit
+	if total < FromMillis(800) || total > FromMillis(900) {
+		t.Fatalf("MVCC begin+commit = %v, want within [800ms, 900ms]", total)
+	}
+	// Cold-client lock experiment anchor (Figure 11): fixed component is
+	// a few hundred ms.
+	if c.ConnectionSetup < FromMillis(200) || c.ConnectionSetup > FromMillis(400) {
+		t.Fatalf("ConnectionSetup = %v, want a few hundred ms", c.ConnectionSetup)
+	}
+}

@@ -1,0 +1,152 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . ? = < > <= >= <> !=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes SQL text. Keywords are returned as identifiers; the parser
+// matches them case-insensitively.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),.?=*", rune(c)):
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+			l.pos++
+		case c == '<':
+			l.lexCompound("<=", "<>", "<")
+		case c == '>':
+			l.lexCompound(">=", ">")
+		case c == '!':
+			if strings.HasPrefix(l.src[l.pos:], "!=") {
+				l.toks = append(l.toks, token{kind: tokSymbol, text: "<>", pos: l.pos})
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected %q at %d", c, l.pos)
+			}
+		case c == '-':
+			// Negative number literal.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				l.lexNumber()
+			} else {
+				return nil, fmt.Errorf("sql: unexpected %q at %d", c, l.pos)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) lexCompound(options ...string) {
+	for _, op := range options {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.toks = append(l.toks, token{kind: tokSymbol, text: op, pos: l.pos})
+			l.pos += len(op)
+			return
+		}
+	}
+}

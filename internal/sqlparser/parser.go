@@ -1,0 +1,520 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// MustParse parses or panics; for statically known statements (workload
+// definitions, tests).
+func MustParse(src string) Statement {
+	s, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("sqlparser.MustParse(%q): %v", src, err))
+	}
+	return s
+}
+
+// ParseSelect parses a statement and asserts it is a SELECT.
+func ParseSelect(src string) (*SelectStmt, error) {
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := s.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: not a SELECT: %s", src)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	src    string
+	toks   []token
+	pos    int
+	params int
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near position %d in %q)", fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+// keyword reports whether the next token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// peekKeyword reports whether the next token is the keyword, without
+// consuming.
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) symbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.symbol(sym) {
+		return p.errorf("expected %q", sym)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+var reservedAfterTable = map[string]bool{
+	"where": true, "group": true, "order": true, "limit": true,
+	"and": true, "on": true, "set": true, "values": true, "as": true,
+	"inner": true, "join": true, "from": true,
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.peekKeyword("select"):
+		return p.parseSelect()
+	case p.peekKeyword("insert"):
+		return p.parseInsert()
+	case p.peekKeyword("update"):
+		return p.parseUpdate()
+	case p.peekKeyword("delete"):
+		return p.parseDelete()
+	default:
+		return nil, p.errorf("expected SELECT, INSERT, UPDATE or DELETE")
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.symbol("*") {
+		s.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, ref)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		preds, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = preds
+	}
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, col)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.keyword("desc") {
+				item.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected LIMIT count")
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	expr, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: expr}
+	if p.keyword("as") {
+		alias, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	var ref TableRef
+	if p.symbol("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return ref, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return ref, err
+		}
+		ref.Sub = sub
+	} else {
+		name, err := p.ident()
+		if err != nil {
+			return ref, err
+		}
+		ref.Name = name
+	}
+	if p.keyword("as") {
+		alias, err := p.ident()
+		if err != nil {
+			return ref, err
+		}
+		ref.Alias = alias
+	} else if t := p.peek(); t.kind == tokIdent && !reservedAfterTable[strings.ToLower(t.text)] {
+		p.pos++
+		ref.Alias = t.text
+	}
+	if ref.Sub != nil && ref.Alias == "" {
+		return ref, p.errorf("derived table requires an alias")
+	}
+	return ref, nil
+}
+
+func (p *parser) parseConjunction() ([]Predicate, error) {
+	var preds []Predicate
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		if !p.keyword("and") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return Predicate{}, err
+	}
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return Predicate{}, p.errorf("expected comparison operator, got %q", t.text)
+	}
+	var op CompareOp
+	switch t.text {
+	case "=":
+		op = OpEq
+	case "<>":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return Predicate{}, p.errorf("unknown operator %q", t.text)
+	}
+	p.pos++
+	right, err := p.parseOperand()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Left: left, Op: op, Right: right}, nil
+}
+
+// parseOperand parses a column ref, literal or parameter (no aggregates).
+func (p *parser) parseOperand() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && t.text == "?":
+		p.pos++
+		e := Param{Index: p.params}
+		p.params++
+		return e, nil
+	case t.kind == tokNumber:
+		p.pos++
+		return numberLiteral(t.text)
+	case t.kind == tokString:
+		p.pos++
+		return Literal{Value: t.text}, nil
+	case t.kind == tokIdent:
+		return p.parseColumnRef()
+	default:
+		return nil, p.errorf("expected operand, got %q", t.text)
+	}
+}
+
+// parseExpr parses a select-list expression, which additionally allows
+// aggregates.
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		fn := strings.ToUpper(t.text)
+		switch fn {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			save := p.save()
+			p.pos++
+			if p.symbol("(") {
+				if fn == "COUNT" && p.symbol("*") {
+					if err := p.expectSymbol(")"); err != nil {
+						return nil, err
+					}
+					return AggExpr{Fn: fn, Star: true}, nil
+				}
+				col, err := p.parseColumnRef()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return AggExpr{Fn: fn, Arg: &col}, nil
+			}
+			p.restore(save) // plain identifier that looks like an agg name
+		}
+	}
+	return p.parseOperand()
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.symbol(".") {
+		col, err := p.ident()
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: first, Column: col}, nil
+	}
+	return ColumnRef{Column: first}, nil
+}
+
+func numberLiteral(text string) (Expr, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", text)
+		}
+		return Literal{Value: f}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("sql: bad number %q", text)
+	}
+	return Literal{Value: n}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &InsertStmt{Table: table}
+	if p.symbol("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, col)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		s.Values = append(s.Values, v)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if len(s.Columns) > 0 && len(s.Columns) != len(s.Values) {
+		return nil, p.errorf("%d columns but %d values", len(s.Columns), len(s.Values))
+	}
+	return s, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.expectKeyword("update"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	s := &UpdateStmt{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		s.Set = append(s.Set, Assignment{Column: col, Value: v})
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		preds, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = preds
+	}
+	return s, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s := &DeleteStmt{Table: table}
+	if p.keyword("where") {
+		preds, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = preds
+	}
+	return s, nil
+}

@@ -1,0 +1,279 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	s, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestSelectStar(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM Employee")
+	if !s.Star || len(s.From) != 1 || s.From[0].Name != "Employee" {
+		t.Fatalf("parsed: %+v", s)
+	}
+}
+
+func TestSelectWithAliasAndJoin(t *testing.T) {
+	// W1 from the paper's Company workload (§V-B2).
+	s := mustSelect(t, `SELECT * FROM Employee as e, Address as a
+		WHERE a.AID = e.EHome_AID and e.EID = ?`)
+	if len(s.From) != 2 {
+		t.Fatalf("tables = %d, want 2", len(s.From))
+	}
+	if s.From[0].Binding() != "e" || s.From[1].Binding() != "a" {
+		t.Fatalf("bindings = %q, %q", s.From[0].Binding(), s.From[1].Binding())
+	}
+	joins := s.JoinPredicates()
+	if len(joins) != 1 {
+		t.Fatalf("join predicates = %d, want 1", len(joins))
+	}
+	filters := s.FilterPredicates()
+	if len(filters) != 1 {
+		t.Fatalf("filter predicates = %d, want 1", len(filters))
+	}
+	if _, ok := filters[0].Right.(Param); !ok {
+		t.Fatalf("filter right side = %T, want Param", filters[0].Right)
+	}
+}
+
+func TestImplicitAlias(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM Order_line ol WHERE ol.ol_i_id = ?")
+	if s.From[0].Alias != "ol" {
+		t.Fatalf("alias = %q, want ol", s.From[0].Alias)
+	}
+}
+
+func TestThreeWayJoinWithFilters(t *testing.T) {
+	// W2 from the Company workload.
+	s := mustSelect(t, `SELECT * FROM Department as d, Employee as e, Works_On as wo
+		WHERE d.DNo = e.E_DNo and e.EID = wo.WO_EID and d.DNo = ?`)
+	if len(s.JoinPredicates()) != 2 {
+		t.Fatalf("joins = %d, want 2", len(s.JoinPredicates()))
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	// Q2-like query (Figure 15).
+	s := mustSelect(t, `SELECT * FROM Customer c, Orders o
+		WHERE c.c_id = o.o_c_id and c.c_uname = ? ORDER BY o.o_date DESC, o.o_id DESC LIMIT 1`)
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || !s.OrderBy[1].Desc {
+		t.Fatalf("order by = %+v", s.OrderBy)
+	}
+	if s.Limit != 1 {
+		t.Fatalf("limit = %d, want 1", s.Limit)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	// Q10-like best-seller query shape.
+	s := mustSelect(t, `SELECT i.i_id, i.i_title, SUM(ol.ol_qty) AS total
+		FROM Item i, Order_line ol WHERE ol.ol_i_id = i.i_id AND i.i_subject = ?
+		GROUP BY i.i_id ORDER BY total DESC LIMIT 50`)
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Column != "i_id" {
+		t.Fatalf("group by = %+v", s.GroupBy)
+	}
+	agg, ok := s.Items[2].Expr.(AggExpr)
+	if !ok || agg.Fn != "SUM" || agg.Arg.Column != "ol_qty" {
+		t.Fatalf("aggregate = %+v", s.Items[2].Expr)
+	}
+	if s.Items[2].Alias != "total" {
+		t.Fatalf("alias = %q", s.Items[2].Alias)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	s := mustSelect(t, "SELECT COUNT(*) FROM Orders WHERE o_c_id = ?")
+	agg, ok := s.Items[0].Expr.(AggExpr)
+	if !ok || !agg.Star {
+		t.Fatalf("expr = %+v, want COUNT(*)", s.Items[0].Expr)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	// Q10/Q11 use a recent-orders temp table (Figure 15).
+	s := mustSelect(t, `SELECT * FROM Order_line ol,
+		(SELECT o_id FROM Orders ORDER BY o_date DESC LIMIT 3333) recent
+		WHERE ol.ol_o_id = recent.o_id`)
+	if s.From[1].Sub == nil || s.From[1].Alias != "recent" {
+		t.Fatalf("derived table = %+v", s.From[1])
+	}
+	if s.From[1].Sub.Limit != 3333 {
+		t.Fatalf("sub limit = %d", s.From[1].Sub.Limit)
+	}
+}
+
+func TestDerivedTableRequiresAlias(t *testing.T) {
+	_, err := Parse("SELECT * FROM (SELECT * FROM t)")
+	if err == nil {
+		t.Fatal("derived table without alias should fail")
+	}
+}
+
+func TestSelfJoinAliases(t *testing.T) {
+	// Q9: Item as I, Item as J (Figure 15).
+	s := mustSelect(t, `SELECT J.i_id, J.i_title FROM Item I, Item J
+		WHERE I.i_related1 = J.i_id AND I.i_id = ?`)
+	if s.From[0].Binding() != "I" || s.From[1].Binding() != "J" {
+		t.Fatalf("bindings: %q, %q", s.From[0].Binding(), s.From[1].Binding())
+	}
+}
+
+func TestInequalityPredicate(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM Order_line ol WHERE ol.ol_i_id <> ? AND ol.ol_qty >= 2")
+	if s.Where[0].Op != OpNe || s.Where[1].Op != OpGe {
+		t.Fatalf("ops = %v, %v", s.Where[0].Op, s.Where[1].Op)
+	}
+}
+
+func TestBangEqualsNormalized(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE a != 5")
+	if s.Where[0].Op != OpNe {
+		t.Fatalf("op = %v, want <>", s.Where[0].Op)
+	}
+}
+
+func TestInsert(t *testing.T) {
+	stmt, err := Parse("INSERT INTO Orders (o_id, o_c_id, o_total) VALUES (?, ?, 12.50)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "Orders" || len(ins.Columns) != 3 || len(ins.Values) != 3 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if lit, ok := ins.Values[2].(Literal); !ok || lit.Value.(float64) != 12.50 {
+		t.Fatalf("literal = %+v", ins.Values[2])
+	}
+	if p0, ok := ins.Values[0].(Param); !ok || p0.Index != 0 {
+		t.Fatalf("param 0 = %+v", ins.Values[0])
+	}
+	if p1 := ins.Values[1].(Param); p1.Index != 1 {
+		t.Fatalf("param 1 index = %d", p1.Index)
+	}
+}
+
+func TestInsertColumnValueMismatch(t *testing.T) {
+	if _, err := Parse("INSERT INTO t (a, b) VALUES (?)"); err == nil {
+		t.Fatal("mismatched column/value count should fail")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	stmt, err := Parse("UPDATE Customer SET c_balance = ?, c_ytd_pmt = ? WHERE c_id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := stmt.(*UpdateStmt)
+	if up.Table != "Customer" || len(up.Set) != 2 || len(up.Where) != 1 {
+		t.Fatalf("update = %+v", up)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	stmt, err := Parse("DELETE FROM Shopping_cart_line WHERE scl_sc_id = ? AND scl_i_id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := stmt.(*DeleteStmt)
+	if del.Table != "Shopping_cart_line" || len(del.Where) != 2 {
+		t.Fatalf("delete = %+v", del)
+	}
+}
+
+func TestStringLiteralEscapes(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE name = 'O''Brien'")
+	lit := s.Where[0].Right.(Literal)
+	if lit.Value.(string) != "O'Brien" {
+		t.Fatalf("literal = %q", lit.Value)
+	}
+}
+
+func TestNegativeNumber(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE bal < -10")
+	lit := s.Where[0].Right.(Literal)
+	if lit.Value.(int64) != -10 {
+		t.Fatalf("literal = %v", lit.Value)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select * from T where a = 1 order by a limit 5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("SeLeCt * FrOm T"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a =",
+		"SELECT * FROM t LIMIT 0",
+		"SELECT * FROM t LIMIT x",
+		"INSERT INTO t VALUES",
+		"UPDATE t",
+		"DROP TABLE t",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t; SELECT * FROM u",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT * FROM Employee AS e, Address AS a WHERE a.AID = e.EHome_AID AND e.EID = ?",
+		"SELECT i.i_id, SUM(ol.ol_qty) AS total FROM Item AS i, Order_line AS ol WHERE ol.ol_i_id = i.i_id GROUP BY i.i_id ORDER BY total DESC LIMIT 50",
+		"INSERT INTO t (a, b) VALUES (?, 'x')",
+		"UPDATE t SET a = ? WHERE b = 3",
+		"DELETE FROM t WHERE a = ?",
+	}
+	for _, src := range srcs {
+		s1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		printed := s1.String()
+		s2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", printed, err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("round trip mismatch:\n  first:  %s\n  second: %s", s1, s2)
+		}
+	}
+}
+
+func TestParamNumberingAcrossClauses(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE a = ? AND b = ? AND c = ?")
+	for i, pred := range s.Where {
+		p, ok := pred.Right.(Param)
+		if !ok || p.Index != i {
+			t.Fatalf("predicate %d param = %+v", i, pred.Right)
+		}
+	}
+}
+
+func TestMustParsePanicsOnBadSQL(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "MustParse") {
+			t.Fatalf("expected MustParse panic, got %v", r)
+		}
+	}()
+	MustParse("not sql")
+}

@@ -1,0 +1,131 @@
+package synergy
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"synergy/internal/hbase"
+	"synergy/internal/sim"
+)
+
+// lockQualifier is the single boolean column of a lock table (§VIII-A).
+const lockQualifier = "l"
+
+var (
+	lockFree = []byte("0")
+	lockHeld = []byte("1")
+)
+
+// LockTableName returns the lock table of a root relation.
+func LockTableName(root string) string { return "LK_" + root }
+
+// LockManager implements the hierarchical locking of §VIII-A: one lock table
+// per root relation, with rows keyed like the root's rows and a boolean
+// in-use column, acquired and released via checkAndPut.
+type LockManager struct {
+	store  *hbase.HCluster
+	client *hbase.Client
+	costs  *sim.Costs
+	// MaxAttempts bounds the acquire retry loop.
+	MaxAttempts int
+}
+
+// NewLockManager builds a manager with a warm store client.
+func NewLockManager(store *hbase.HCluster) *LockManager {
+	return &LockManager{
+		store:       store,
+		client:      store.NewWarmClient(),
+		costs:       store.Costs(),
+		MaxAttempts: 100_000,
+	}
+}
+
+// CreateLockTables creates one lock table per root.
+func (lm *LockManager) CreateLockTables(roots []string) error {
+	for _, r := range roots {
+		if err := lm.store.CreateTable(hbase.TableSpec{Name: LockTableName(r)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BulkCreateEntries creates free lock entries for bulk-loaded root rows.
+func (lm *LockManager) BulkCreateEntries(root string, rows []hbase.BulkRow) error {
+	entries := make([]hbase.BulkRow, 0, len(rows))
+	for _, r := range rows {
+		entries = append(entries, hbase.BulkRow{
+			Key:   r.Key,
+			Cells: []hbase.Cell{{Qualifier: lockQualifier, Value: lockFree}},
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return lm.store.BulkLoad(LockTableName(root), entries)
+}
+
+// EnsureEntry creates the lock entry for a newly inserted root row.
+func (lm *LockManager) EnsureEntry(ctx *sim.Ctx, root, key string) error {
+	return lm.client.Put(ctx, LockTableName(root), key,
+		[]hbase.Cell{{Qualifier: lockQualifier, Value: lockFree}})
+}
+
+// Acquire takes the lock on a root row key, spinning with simulated backoff
+// while contended (§IX-C uses the same checkAndPut mechanism). The client
+// may be cold — the Figure 11 experiment measures exactly that path via
+// AcquireWith.
+func (lm *LockManager) Acquire(ctx *sim.Ctx, root, key string) error {
+	return lm.acquire(ctx, lm.client, root, key)
+}
+
+// AcquireWith acquires using a caller-supplied (possibly cold) client.
+func (lm *LockManager) AcquireWith(ctx *sim.Ctx, client *hbase.Client, root, key string) error {
+	return lm.acquire(ctx, client, root, key)
+}
+
+func (lm *LockManager) acquire(ctx *sim.Ctx, client *hbase.Client, root, key string) error {
+	tbl := LockTableName(root)
+	for attempt := 0; attempt < lm.MaxAttempts; attempt++ {
+		ok, err := client.CheckAndPut(ctx, tbl, key, lockQualifier, lockFree,
+			hbase.Cell{Qualifier: lockQualifier, Value: lockHeld})
+		if err != nil {
+			return err
+		}
+		if ok {
+			ctx.CountLock()
+			return nil
+		}
+		// Entry may not exist yet (root row inserted concurrently or
+		// lock table sparse): try create-if-absent.
+		ok, err = client.CheckAndPut(ctx, tbl, key, lockQualifier, nil,
+			hbase.Cell{Qualifier: lockQualifier, Value: lockHeld})
+		if err != nil {
+			return err
+		}
+		if ok {
+			ctx.CountLock()
+			return nil
+		}
+		ctx.Charge(lm.costs.LockRetryBackoff)
+		runtime.Gosched()
+	}
+	return fmt.Errorf("synergy: lock %s/%q: too many attempts", root, key)
+}
+
+// Release frees the lock.
+func (lm *LockManager) Release(ctx *sim.Ctx, root, key string) error {
+	return lm.ReleaseWith(ctx, lm.client, root, key)
+}
+
+// ReleaseWith releases using a caller-supplied client.
+func (lm *LockManager) ReleaseWith(ctx *sim.Ctx, client *hbase.Client, root, key string) error {
+	ok, err := client.CheckAndPut(ctx, LockTableName(root), key, lockQualifier, lockHeld,
+		hbase.Cell{Qualifier: lockQualifier, Value: lockFree})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("synergy: release of %s/%q: lock not held", root, key)
+	}
+	return nil
+}

@@ -1,0 +1,372 @@
+// Package synergy assembles the full Synergy system of §IV and §VIII: the
+// HBase layer (store + distributed FS + coordination), the Phoenix-style SQL
+// layer with the selected materialized views and view-indexes registered,
+// the hierarchical lock manager, and the transaction layer (master + slaves
+// with write-ahead logging) that executes the auto-generated write plans.
+package synergy
+
+import (
+	"fmt"
+	"sort"
+
+	"synergy/internal/cluster"
+	"synergy/internal/core"
+	"synergy/internal/hbase"
+	"synergy/internal/mvcc"
+	"synergy/internal/phoenix"
+	"synergy/internal/schema"
+	"synergy/internal/sdfs"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+	"synergy/internal/zk"
+)
+
+// IndexSpec names a base-table covered index supplied with the input schema
+// (§VI-C: "we assume that the input schema has necessary base table
+// indexes").
+type IndexSpec struct {
+	Table string
+	Name  string
+	On    []string
+}
+
+// ConcurrencyMode selects the concurrency control mechanism (Figure 13).
+type ConcurrencyMode int
+
+const (
+	// Hierarchical is Synergy's single-lock-per-transaction control
+	// (§VIII).
+	Hierarchical ConcurrencyMode = iota
+	// MVCC replaces the Synergy transaction layer with the Tephra-like
+	// snapshot transaction server, as the MVCC-A, MVCC-UA and Baseline
+	// systems do (§IX-D2).
+	MVCC
+)
+
+// Config parameterizes system construction.
+type Config struct {
+	// Costs overrides the latency calibration (nil = defaults).
+	Costs *sim.Costs
+	// BaseIndexes lists the input schema's base-table indexes.
+	BaseIndexes []IndexSpec
+	// Slaves is the number of transaction-layer slaves (default 2).
+	Slaves int
+	// MaxVersions for created tables (default 1; MVCC deployments use
+	// more).
+	MaxVersions int
+	// DisableViews deploys only the baseline transformation (used to
+	// stand up the Baseline and MVCC-UA systems on shared plumbing).
+	DisableViews bool
+	// SplitThreshold overrides region split size (0 = store default).
+	SplitThreshold int
+	// Concurrency selects hierarchical locking (Synergy) or MVCC
+	// (Phoenix-Tephra style).
+	Concurrency ConcurrencyMode
+}
+
+// System is a deployed Synergy instance.
+type System struct {
+	Cluster *cluster.Cluster
+	FS      *sdfs.FS
+	ZK      *zk.Ensemble
+	Store   *hbase.HCluster
+	Catalog *phoenix.Catalog
+	Engine  *phoenix.Engine
+	Design  *core.Design
+	Locks   *LockManager
+	Txn     *TxnLayer
+	// MVCCServer is the transaction server when Concurrency == MVCC.
+	MVCCServer *mvcc.Server
+
+	cfg Config
+}
+
+// New builds and deploys a system for the schema, roots and workload: it
+// runs the design pipeline (Figure 3), registers base tables, views and
+// indexes, creates the lock tables and starts the transaction layer.
+func New(sch *schema.Schema, roots []string, workloadSQL []string, cfg Config) (*System, error) {
+	if cfg.Costs == nil {
+		cfg.Costs = sim.DefaultCosts()
+	}
+	if cfg.Slaves <= 0 {
+		cfg.Slaves = 2
+	}
+	if cfg.MaxVersions <= 0 {
+		cfg.MaxVersions = 1
+	}
+
+	w, err := core.ParseWorkload(workloadSQL)
+	if err != nil {
+		return nil, err
+	}
+	design, err := core.BuildDesign(sch, roots, w)
+	if err != nil {
+		return nil, err
+	}
+
+	cl := cluster.NewDefault(cfg.Costs)
+	fs := sdfs.NewFS(cl, 3)
+	ens := zk.NewEnsemble()
+	store := hbase.NewHCluster(cl, fs, ens)
+	cat := phoenix.NewCatalog(store)
+
+	sys := &System{
+		Cluster: cl, FS: fs, ZK: ens, Store: store,
+		Catalog: cat, Design: design, cfg: cfg,
+	}
+
+	spec := hbase.TableSpec{MaxVersions: cfg.MaxVersions, SplitThreshold: cfg.SplitThreshold}
+
+	// Baseline transformation (§II-D): every relation and base index
+	// becomes a NoSQL table.
+	for _, r := range sch.Relations() {
+		if _, err := cat.RegisterRelation(r, spec); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range cfg.BaseIndexes {
+		if err := cat.RegisterIndex(ix.Table, phoenix.IndexInfo{Name: ix.Name, On: ix.On}, spec); err != nil {
+			return nil, err
+		}
+	}
+
+	if !cfg.DisableViews {
+		for _, v := range design.Views {
+			if _, err := cat.RegisterView(v.Name(), v.Cols, v.Key, v.Relations, spec); err != nil {
+				return nil, err
+			}
+		}
+		for _, ix := range design.ViewIndexes {
+			// Query-driven view-indexes are covered (§VI-C);
+			// maintenance indexes only locate view rows (§VII-C) and
+			// store just the keys.
+			info := phoenix.IndexInfo{Name: ix.Name(), On: ix.On, KeyOnly: ix.Maintenance}
+			if err := cat.RegisterIndex(ix.View.Name(), info, spec); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sys.Engine = phoenix.NewEngine(cat)
+	sys.Locks = NewLockManager(store)
+	if err := sys.Locks.CreateLockTables(roots); err != nil {
+		return nil, err
+	}
+	if cfg.Concurrency == MVCC {
+		sys.MVCCServer = mvcc.NewServer(cfg.Costs)
+	} else {
+		sys.Txn = NewTxnLayer(sys, cfg.Slaves)
+	}
+	return sys, nil
+}
+
+// LoadBase bulk-loads rows into a base table (and its base indexes),
+// creating lock-table entries for root relations. Rows need not be sorted.
+func (sys *System) LoadBase(table string, rows []schema.Row) error {
+	info, err := sys.Catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	bulk := make([]hbase.BulkRow, 0, len(rows))
+	for _, r := range rows {
+		key, err := phoenix.PrimaryKey(info, r)
+		if err != nil {
+			return err
+		}
+		bulk = append(bulk, hbase.BulkRow{Key: key, Cells: phoenix.RowToCells(r)})
+	}
+	sort.Slice(bulk, func(i, j int) bool { return bulk[i].Key < bulk[j].Key })
+	if err := sys.Store.BulkLoad(table, bulk); err != nil {
+		return err
+	}
+	for _, idx := range info.Indexes {
+		ibulk := make([]hbase.BulkRow, 0, len(rows))
+		for _, r := range rows {
+			ibulk = append(ibulk, hbase.BulkRow{Key: phoenix.IndexKey(info, idx, r), Cells: phoenix.RowToCells(phoenix.IndexRowContent(info, idx, r))})
+		}
+		sort.Slice(ibulk, func(i, j int) bool { return ibulk[i].Key < ibulk[j].Key })
+		if err := sys.Store.BulkLoad(idx.Name, ibulk); err != nil {
+			return err
+		}
+	}
+	// §VIII-A: "a lock table entry is created when a tuple is inserted
+	// into the root relation".
+	if sys.isRoot(table) {
+		if err := sys.Locks.BulkCreateEntries(table, bulk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sys *System) isRoot(table string) bool {
+	for _, r := range sys.Design.Roots {
+		if r == table {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildViews materializes every selected view (and its view-indexes) from
+// the loaded base tables, then major-compacts everything — the population
+// procedure of §IX-D1.
+func (sys *System) BuildViews() error {
+	if sys.cfg.DisableViews {
+		return sys.MajorCompactAll()
+	}
+	ctx := sim.NewCtx() // population cost is not a measured response time
+	for _, v := range sys.Design.Views {
+		if err := sys.buildView(ctx, v); err != nil {
+			return fmt.Errorf("synergy: building %s: %w", v.DisplayName(), err)
+		}
+	}
+	return sys.MajorCompactAll()
+}
+
+// buildView computes the view contents by joining down the path and bulk
+// loads the result.
+func (sys *System) buildView(ctx *sim.Ctx, v *core.View) error {
+	sch := sys.Design.Schema
+	// acc holds joined rows keyed by the current relation's PK.
+	first := v.Relations[0]
+	firstRows, err := sys.Engine.ScanAll(ctx, first, hbase.ReadOpts{})
+	if err != nil {
+		return err
+	}
+	acc := map[string]schema.Row{}
+	firstRel := sch.Relation(first)
+	for _, r := range firstRows {
+		acc[rowKeyOf(firstRel.PK, r)] = r
+	}
+	var joined []schema.Row
+	for i, e := range v.Edges {
+		child := v.Relations[i+1]
+		childRows, err := sys.Engine.ScanAll(ctx, child, hbase.ReadOpts{})
+		if err != nil {
+			return err
+		}
+		childRel := sch.Relation(child)
+		next := map[string]schema.Row{}
+		joined = joined[:0]
+		for _, c := range childRows {
+			parentKey := rowKeyOf(e.FK, c)
+			p, ok := acc[parentKey]
+			if !ok {
+				continue // dangling FK: inner join drops it
+			}
+			m := p.Clone()
+			for k, val := range c {
+				m[k] = val
+			}
+			next[rowKeyOf(childRel.PK, c)] = m
+			joined = append(joined, m)
+		}
+		acc = next
+	}
+
+	info, err := sys.Catalog.Table(v.Name())
+	if err != nil {
+		return err
+	}
+	rows := make([]schema.Row, 0, len(acc))
+	for _, r := range acc {
+		rows = append(rows, r)
+	}
+	bulk := make([]hbase.BulkRow, 0, len(rows))
+	for _, r := range rows {
+		key, err := phoenix.PrimaryKey(info, r)
+		if err != nil {
+			return err
+		}
+		bulk = append(bulk, hbase.BulkRow{Key: key, Cells: phoenix.RowToCells(r)})
+	}
+	sort.Slice(bulk, func(i, j int) bool { return bulk[i].Key < bulk[j].Key })
+	if err := sys.Store.BulkLoad(v.Name(), bulk); err != nil {
+		return err
+	}
+	for _, idx := range info.Indexes {
+		ibulk := make([]hbase.BulkRow, 0, len(rows))
+		for _, r := range rows {
+			ibulk = append(ibulk, hbase.BulkRow{Key: phoenix.IndexKey(info, idx, r), Cells: phoenix.RowToCells(phoenix.IndexRowContent(info, idx, r))})
+		}
+		sort.Slice(ibulk, func(i, j int) bool { return ibulk[i].Key < ibulk[j].Key })
+		if err := sys.Store.BulkLoad(idx.Name, ibulk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rowKeyOf(cols []string, r schema.Row) string {
+	vals := make([]schema.Value, len(cols))
+	for i, c := range cols {
+		vals[i] = r[c]
+	}
+	return schema.EncodeKey(vals...)
+}
+
+// MajorCompactAll compacts every table (§IX: done after population).
+func (sys *System) MajorCompactAll() error {
+	for _, t := range sys.Store.Tables() {
+		if err := sys.Store.MajorCompact(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rewriteFor returns the view-based rewrite of a query (identity when views
+// are disabled or none apply).
+func (sys *System) rewriteFor(sel *sqlparser.SelectStmt) *sqlparser.SelectStmt {
+	if sys.cfg.DisableViews {
+		return sel
+	}
+	if rw, ok := sys.Design.Rewritten[sel]; ok {
+		return rw.Stmt
+	}
+	views := core.SelectViewsForQuery(sys.Design.Schema, sys.Design.Candidates.Trees, sel)
+	var mat []*core.View
+	for _, v := range views {
+		if fv := sys.Design.ViewByName(v.Name()); fv != nil {
+			mat = append(mat, fv)
+		}
+	}
+	return core.RewriteQuery(sel, mat).Stmt
+}
+
+// Query executes a read. Workload queries run their view-based rewrite;
+// reads go directly to the HBase layer (Figure 7). Under hierarchical
+// locking the dirty-read restart protocol guards view scans (§VIII-C); under
+// MVCC the read runs inside a snapshot transaction.
+func (sys *System) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (*phoenix.ResultSet, error) {
+	stmt := sys.rewriteFor(sel)
+	if sys.cfg.Concurrency == MVCC {
+		tx := sys.MVCCServer.Begin(ctx)
+		rs, err := sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: tx.ReadOpts()})
+		if err != nil {
+			sys.MVCCServer.Abort(ctx, tx)
+			return nil, err
+		}
+		if cerr := sys.MVCCServer.Commit(ctx, tx); cerr != nil {
+			return nil, cerr
+		}
+		return rs, nil
+	}
+	return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{DirtyCheck: true})
+}
+
+// Exec executes a write statement: through the Synergy transaction layer
+// under hierarchical locking, or as an MVCC transaction otherwise.
+func (sys *System) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	if sys.cfg.Concurrency == MVCC {
+		return sys.ExecuteWrite(ctx, stmt, params)
+	}
+	return sys.Txn.Submit(ctx, stmt, params)
+}
+
+// DatabaseBytes reports the total storage footprint (tables + indexes +
+// views + lock tables), the quantity Table III compares.
+func (sys *System) DatabaseBytes() int64 {
+	return sys.Store.TotalBytes()
+}

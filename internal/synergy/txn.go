@@ -1,0 +1,307 @@
+package synergy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+	"synergy/internal/zk"
+)
+
+// ErrNoSlaves reports that every transaction-layer slave is down.
+var ErrNoSlaves = errors.New("synergy: no live transaction-layer slaves")
+
+const slavesZNode = "/synergy/slaves"
+
+// walRecord is one entry of a slave's write-ahead log. Statements are logged
+// with their parameters before execution; a commit record marks completion.
+// Recovery re-executes statements whose commit record is missing (§VIII:
+// "starting a new slave node to take over and replay the WAL of a failed
+// slave node").
+type walRecord struct {
+	TxID   int64      `json:"tx"`
+	SQL    string     `json:"sql,omitempty"`
+	Params []walParam `json:"params,omitempty"`
+	Commit bool       `json:"commit,omitempty"`
+}
+
+type walParam struct {
+	T string `json:"t"` // i, f, s
+	V string `json:"v"`
+}
+
+func encodeParams(params []schema.Value) ([]walParam, error) {
+	out := make([]walParam, len(params))
+	for i, p := range params {
+		switch x := p.(type) {
+		case int64:
+			out[i] = walParam{T: "i", V: strconv.FormatInt(x, 10)}
+		case float64:
+			out[i] = walParam{T: "f", V: strconv.FormatFloat(x, 'g', -1, 64)}
+		case string:
+			out[i] = walParam{T: "s", V: x}
+		case nil:
+			out[i] = walParam{T: "n"}
+		default:
+			return nil, fmt.Errorf("synergy: unsupported parameter type %T", p)
+		}
+	}
+	return out, nil
+}
+
+func decodeParams(ps []walParam) ([]schema.Value, error) {
+	out := make([]schema.Value, len(ps))
+	for i, p := range ps {
+		switch p.T {
+		case "i":
+			v, err := strconv.ParseInt(p.V, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		case "f":
+			v, err := strconv.ParseFloat(p.V, 64)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		case "s":
+			out[i] = p.V
+		case "n":
+			out[i] = nil
+		default:
+			return nil, fmt.Errorf("synergy: bad wal param type %q", p.T)
+		}
+	}
+	return out, nil
+}
+
+// Slave is one transaction-layer worker: it assigns transaction ids, logs
+// statements to its WAL in the distributed FS, and executes write
+// transaction procedures (Figure 7).
+type Slave struct {
+	ID      string
+	layer   *TxnLayer
+	walPath string
+	sess    *zk.Session
+	seq     atomic.Int64
+	alive   atomic.Bool
+	walMu   sync.Mutex
+
+	// killBeforeExec is a fault-injection hook: when set, the slave dies
+	// after logging the next statement but before executing it.
+	killBeforeExec atomic.Bool
+}
+
+// Alive reports liveness.
+func (s *Slave) Alive() bool { return s.alive.Load() }
+
+// Kill simulates slave failure: the ZooKeeper session closes (dropping the
+// ephemeral registration the master watches) and the slave stops accepting
+// work.
+func (s *Slave) Kill() {
+	if s.alive.CompareAndSwap(true, false) {
+		s.sess.Close()
+	}
+}
+
+// KillBeforeNextExec arms the fault-injection hook.
+func (s *Slave) KillBeforeNextExec() { s.killBeforeExec.Store(true) }
+
+// Execute logs and runs one write transaction.
+func (s *Slave) Execute(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	if !s.alive.Load() {
+		return fmt.Errorf("%w: %s is down", ErrNoSlaves, s.ID)
+	}
+	sys := s.layer.sys
+	ctx.Charge(sys.Cluster.Costs().TxnLayerHop)
+
+	txid := s.seq.Add(1)
+	ps, err := encodeParams(params)
+	if err != nil {
+		return err
+	}
+	rec, err := json.Marshal(walRecord{TxID: txid, SQL: stmt.String(), Params: ps})
+	if err != nil {
+		return err
+	}
+	s.walMu.Lock()
+	err = sys.FS.Append(ctx, s.walPath, append(rec, '\n'))
+	s.walMu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	if s.killBeforeExec.CompareAndSwap(true, false) {
+		s.Kill()
+		return fmt.Errorf("%w: %s crashed mid-transaction", ErrNoSlaves, s.ID)
+	}
+
+	if err := sys.ExecuteWrite(ctx, stmt, params); err != nil {
+		return err
+	}
+
+	commit, _ := json.Marshal(walRecord{TxID: txid, Commit: true})
+	s.walMu.Lock()
+	err = sys.FS.Append(ctx, s.walPath, append(commit, '\n'))
+	s.walMu.Unlock()
+	return err
+}
+
+// TxnLayer is the master + slaves transaction tier.
+type TxnLayer struct {
+	sys    *System
+	master *zk.Session
+
+	mu     sync.Mutex
+	slaves []*Slave
+	next   int
+	nextID int
+}
+
+// NewTxnLayer starts the layer with n slaves registered in ZooKeeper.
+func NewTxnLayer(sys *System, n int) *TxnLayer {
+	l := &TxnLayer{sys: sys, master: sys.ZK.NewSession()}
+	l.master.Create("/synergy", nil, zk.CreateOpts{})
+	l.master.Create(slavesZNode, nil, zk.CreateOpts{})
+	for i := 0; i < n; i++ {
+		l.spawnSlave()
+	}
+	return l
+}
+
+// spawnSlave starts a new slave. Caller may hold l.mu.
+func (l *TxnLayer) spawnSlave() *Slave {
+	l.mu.Lock()
+	id := fmt.Sprintf("txn-slave-%d", l.nextID)
+	l.nextID++
+	l.mu.Unlock()
+
+	sess := l.sys.ZK.NewSession()
+	s := &Slave{
+		ID:      id,
+		layer:   l,
+		walPath: "/synergy/wal/" + id + ".log",
+		sess:    sess,
+	}
+	s.alive.Store(true)
+	sess.Create(slavesZNode+"/"+id, []byte(id), zk.CreateOpts{Ephemeral: true})
+	l.sys.FS.Append(sim.NewCtx(), s.walPath, nil)
+
+	l.mu.Lock()
+	l.slaves = append(l.slaves, s)
+	l.mu.Unlock()
+	return s
+}
+
+// Slaves lists current slaves (live and dead).
+func (l *TxnLayer) Slaves() []*Slave {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Slave(nil), l.slaves...)
+}
+
+// Submit routes a write statement to a live slave (round-robin).
+func (l *TxnLayer) Submit(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	l.mu.Lock()
+	var chosen *Slave
+	for range l.slaves {
+		s := l.slaves[l.next%len(l.slaves)]
+		l.next++
+		if s.Alive() {
+			chosen = s
+			break
+		}
+	}
+	l.mu.Unlock()
+	if chosen == nil {
+		return ErrNoSlaves
+	}
+	return chosen.Execute(ctx, stmt, params)
+}
+
+// DetectAndRecover is the master's failure-detection pass (§VIII): it
+// compares the slaves registered in ZooKeeper (ephemeral nodes vanish with
+// their sessions) against the roster, and for each dead slave starts a
+// replacement that replays the dead slave's WAL. It returns the number of
+// slaves recovered.
+func (l *TxnLayer) DetectAndRecover(ctx *sim.Ctx) (int, error) {
+	present := map[string]bool{}
+	kids, err := l.master.Children(slavesZNode, nil)
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range kids {
+		present[k] = true
+	}
+
+	l.mu.Lock()
+	var dead []*Slave
+	live := l.slaves[:0]
+	for _, s := range l.slaves {
+		if present[s.ID] && s.Alive() {
+			live = append(live, s)
+			continue
+		}
+		dead = append(dead, s)
+	}
+	l.slaves = live
+	l.mu.Unlock()
+
+	for _, d := range dead {
+		replacement := l.spawnSlave()
+		if err := l.replayWAL(ctx, d.walPath, replacement); err != nil {
+			return 0, fmt.Errorf("synergy: replaying %s: %w", d.walPath, err)
+		}
+	}
+	return len(dead), nil
+}
+
+// replayWAL re-executes the statements of a dead slave's WAL that lack
+// commit records.
+func (l *TxnLayer) replayWAL(ctx *sim.Ctx, walPath string, onto *Slave) error {
+	data, err := l.sys.FS.ReadAll(ctx, walPath)
+	if err != nil {
+		return err
+	}
+	committed := map[int64]bool{}
+	var pending []walRecord
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return err
+		}
+		if rec.Commit {
+			committed[rec.TxID] = true
+			continue
+		}
+		pending = append(pending, rec)
+	}
+	for _, rec := range pending {
+		if committed[rec.TxID] {
+			continue
+		}
+		stmt, err := sqlparser.Parse(rec.SQL)
+		if err != nil {
+			return err
+		}
+		params, err := decodeParams(rec.Params)
+		if err != nil {
+			return err
+		}
+		if err := onto.Execute(ctx, stmt, params); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,516 @@
+package synergy
+
+import (
+	"fmt"
+
+	"synergy/internal/core"
+	"synergy/internal/hbase"
+	"synergy/internal/phoenix"
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+)
+
+// dirtyOn and dirtyOff are the marker values of the dirty-read protocol
+// (§VIII-B): rows are marked before a multi-row view update and un-marked
+// after; concurrent scans that observe a mark restart.
+var (
+	dirtyOn  = []byte("1")
+	dirtyOff = []byte("0")
+)
+
+// writeParts is a parsed write statement.
+type writeParts struct {
+	table   string
+	kind    core.WriteKind
+	row     schema.Row // insert: full row
+	assign  schema.Row // update: SET assignments
+	keyVals []schema.Value
+}
+
+func (sys *System) parseWrite(stmt sqlparser.Statement, params []schema.Value) (*writeParts, *phoenix.TableInfo, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.InsertStmt:
+		info, err := sys.Catalog.Table(s.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols := s.Columns
+		if len(cols) == 0 {
+			cols = info.ColumnNames()
+		}
+		if len(cols) != len(s.Values) {
+			return nil, nil, fmt.Errorf("synergy: %d columns, %d values", len(cols), len(s.Values))
+		}
+		row := schema.Row{}
+		for i, c := range cols {
+			v, err := evalConst(s.Values[i], params)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[c] = v
+		}
+		keyVals := make([]schema.Value, len(info.Key))
+		for i, k := range info.Key {
+			keyVals[i] = row[k]
+			if row[k] == nil {
+				return nil, nil, fmt.Errorf("%w: %s.%s", phoenix.ErrKeyNotSpecified, s.Table, k)
+			}
+		}
+		return &writeParts{table: s.Table, kind: core.WriteInsert, row: row, keyVals: keyVals}, info, nil
+
+	case *sqlparser.UpdateStmt:
+		info, err := sys.Catalog.Table(s.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyVals, err := keyValsFromWhere(info, s.Where, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		assign := schema.Row{}
+		for _, a := range s.Set {
+			v, err := evalConst(a.Value, params)
+			if err != nil {
+				return nil, nil, err
+			}
+			assign[a.Column] = v
+		}
+		return &writeParts{table: s.Table, kind: core.WriteUpdate, assign: assign, keyVals: keyVals}, info, nil
+
+	case *sqlparser.DeleteStmt:
+		info, err := sys.Catalog.Table(s.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyVals, err := keyValsFromWhere(info, s.Where, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &writeParts{table: s.Table, kind: core.WriteDelete, keyVals: keyVals}, info, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: %T", phoenix.ErrUnsupported, stmt)
+	}
+}
+
+func evalConst(e sqlparser.Expr, params []schema.Value) (schema.Value, error) {
+	switch x := e.(type) {
+	case sqlparser.Literal:
+		return x.Value, nil
+	case sqlparser.Param:
+		if x.Index >= len(params) {
+			return nil, fmt.Errorf("synergy: missing parameter %d", x.Index)
+		}
+		return params[x.Index], nil
+	default:
+		return nil, fmt.Errorf("%w: %s", phoenix.ErrUnsupported, e)
+	}
+}
+
+func keyValsFromWhere(info *phoenix.TableInfo, where []sqlparser.Predicate, params []schema.Value) ([]schema.Value, error) {
+	bound := map[string]schema.Value{}
+	for _, p := range where {
+		col, ok := p.Left.(sqlparser.ColumnRef)
+		if !ok || p.Op != sqlparser.OpEq {
+			return nil, fmt.Errorf("%w: write WHERE must be key equality (%s)", phoenix.ErrUnsupported, p)
+		}
+		v, err := evalConst(p.Right, params)
+		if err != nil {
+			return nil, err
+		}
+		bound[col.Column] = v
+	}
+	out := make([]schema.Value, len(info.Key))
+	for i, k := range info.Key {
+		v, ok := bound[k]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", phoenix.ErrKeyNotSpecified, info.Name, k)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// resolveRootKey walks the lock chain upward — child foreign key to parent
+// primary key — to find the root-relation row key this write must lock
+// (§VIII-A "to update a row for a relation in a rooted tree, we acquire the
+// lock on the key of the associated row in the root relation").
+func (sys *System) resolveRootKey(ctx *sim.Ctx, plan *core.WritePlan, baseRow schema.Row) (string, error) {
+	if plan.Root == "" {
+		return "", nil
+	}
+	if plan.Root == plan.Table {
+		info, err := sys.Catalog.Table(plan.Table)
+		if err != nil {
+			return "", err
+		}
+		return phoenix.PrimaryKey(info, baseRow)
+	}
+	cur := baseRow
+	chain := plan.LockChain
+	for i := len(chain) - 1; i >= 0; i-- {
+		e := chain[i]
+		fkVals := make([]schema.Value, len(e.FK))
+		for j, c := range e.FK {
+			fkVals[j] = cur[c]
+			if cur[c] == nil {
+				return "", nil // dangling reference: nothing to lock
+			}
+		}
+		if i == 0 {
+			// The FK values are the root's primary key.
+			return schema.EncodeKey(fkVals...), nil
+		}
+		parentInfo, err := sys.Catalog.Table(e.Parent)
+		if err != nil {
+			return "", err
+		}
+		parentRow, found, err := sys.Engine.GetRow(ctx, parentInfo, hbase.ReadOpts{}, fkVals...)
+		if err != nil {
+			return "", err
+		}
+		if !found {
+			return "", nil
+		}
+		cur = parentRow
+	}
+	return "", nil
+}
+
+// ExecuteWrite runs the full write transaction procedure. Under hierarchical
+// locking it is §VIII-B: acquire the single root lock, write the base table
+// (and base indexes), maintain every applicable view per the §VII
+// construction procedures — marking and un-marking rows around multi-row
+// view updates — and release the lock. Under MVCC the same base write and
+// view maintenance run inside a Tephra-like snapshot transaction (no locks,
+// no dirty marking) — the MVCC-A configuration of §IX-D2.
+func (sys *System) ExecuteWrite(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	if sys.cfg.Concurrency == MVCC {
+		tx := sys.MVCCServer.Begin(ctx)
+		opts := phoenix.WriteOpts{TS: tx.ID(), Read: tx.ReadOpts(), OnWrite: tx.RecordWrite}
+		if err := sys.executeWriteBody(ctx, stmt, params, opts, false); err != nil {
+			sys.MVCCServer.Abort(ctx, tx)
+			return err
+		}
+		return sys.MVCCServer.Commit(ctx, tx)
+	}
+	return sys.executeWriteBody(ctx, stmt, params, phoenix.WriteOpts{}, true)
+}
+
+// executeWriteBody is the shared base-write + view-maintenance procedure.
+// lock selects the hierarchical protocol (single root lock + dirty marking).
+func (sys *System) executeWriteBody(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value, opts phoenix.WriteOpts, lock bool) error {
+	parts, info, err := sys.parseWrite(stmt, params)
+	if err != nil {
+		return err
+	}
+	if sys.cfg.DisableViews {
+		// Baseline deployment: plain Phoenix write.
+		return sys.Engine.Exec(ctx, stmt, params, opts)
+	}
+	plan, err := core.PlanWrite(sys.Design, stmt)
+	if err != nil {
+		return err
+	}
+
+	// Materialize the base row: inserts carry it; updates/deletes read it
+	// (also needed for view maintenance).
+	baseRow := parts.row
+	if parts.kind != core.WriteInsert {
+		row, found, err := sys.Engine.GetRow(ctx, info, opts.Read, parts.keyVals...)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return nil // nothing to write
+		}
+		baseRow = row
+	}
+
+	// Step 1: acquire the single lock.
+	if lock {
+		rootKey, err := sys.resolveRootKey(ctx, plan, baseRow)
+		if err != nil {
+			return err
+		}
+		if plan.Root != "" && rootKey != "" {
+			if err := sys.Locks.Acquire(ctx, plan.Root, rootKey); err != nil {
+				return err
+			}
+			defer sys.Locks.Release(ctx, plan.Root, rootKey)
+		}
+	}
+
+	// Base write (+ base indexes) through the SQL layer.
+	if err := sys.Engine.Exec(ctx, stmt, params, opts); err != nil {
+		return err
+	}
+	// New root rows get a lock-table entry (§VIII-A).
+	if lock && parts.kind == core.WriteInsert && sys.isRoot(parts.table) {
+		key, _ := phoenix.PrimaryKey(info, parts.row)
+		if err := sys.Locks.EnsureEntry(ctx, parts.table, key); err != nil {
+			return err
+		}
+	}
+
+	// View maintenance.
+	for _, action := range plan.Actions {
+		switch parts.kind {
+		case core.WriteInsert:
+			if err := sys.maintainInsert(ctx, action, parts, opts); err != nil {
+				return err
+			}
+		case core.WriteDelete:
+			if err := sys.maintainDelete(ctx, action, parts, opts); err != nil {
+				return err
+			}
+		case core.WriteUpdate:
+			if err := sys.maintainUpdate(ctx, action, parts, opts, lock); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// maintainInsert constructs and inserts the view tuple (§VII-A2): read the
+// k-1 related base rows walking the foreign keys upward, merge, insert.
+func (sys *System) maintainInsert(ctx *sim.Ctx, action core.ViewAction, parts *writeParts, opts phoenix.WriteOpts) error {
+	combined := parts.row.Clone()
+	cur := parts.row
+	for _, e := range action.ReadChain {
+		fkVals := make([]schema.Value, len(e.FK))
+		for j, c := range e.FK {
+			fkVals[j] = cur[c]
+			if cur[c] == nil {
+				return nil // dangling FK: no view tuple
+			}
+		}
+		parentInfo, err := sys.Catalog.Table(e.Parent)
+		if err != nil {
+			return err
+		}
+		parentRow, found, err := sys.Engine.GetRow(ctx, parentInfo, opts.Read, fkVals...)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return nil
+		}
+		for k, v := range parentRow {
+			combined[k] = v
+		}
+		cur = parentRow
+	}
+	viewInfo, err := sys.Catalog.Table(action.View.Name())
+	if err != nil {
+		return err
+	}
+	return sys.Engine.PutRow(ctx, viewInfo, combined, opts)
+}
+
+// maintainDelete removes the view tuple: the view key equals the base key
+// (the deleted relation is the view's last); the view row is read first to
+// construct the view-index keys (§VII-B2).
+func (sys *System) maintainDelete(ctx *sim.Ctx, action core.ViewAction, parts *writeParts, opts phoenix.WriteOpts) error {
+	viewInfo, err := sys.Catalog.Table(action.View.Name())
+	if err != nil {
+		return err
+	}
+	return sys.Engine.DeleteRow(ctx, viewInfo, parts.keyVals, opts)
+}
+
+// maintainUpdate applies a base-table update to a view. Under the
+// hierarchical protocol (mark == true) it is the 6-step procedure of
+// §VIII-B: (1) lock held by caller, (2) read affected rows, (3) mark them
+// dirty, (4) update, (5) un-mark, (6) release by caller. Under MVCC the
+// marking steps are skipped — snapshot visibility isolates readers.
+func (sys *System) maintainUpdate(ctx *sim.Ctx, action core.ViewAction, parts *writeParts, opts phoenix.WriteOpts, mark bool) error {
+	viewInfo, err := sys.Catalog.Table(action.View.Name())
+	if err != nil {
+		return err
+	}
+
+	// Step 2: read the view rows that need updating.
+	rows, err := sys.locateViewRows(ctx, action, viewInfo, parts, opts.Read)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+
+	type target struct {
+		viewKey string
+		row     schema.Row
+	}
+	targets := make([]target, 0, len(rows))
+	for _, r := range rows {
+		key, err := phoenix.PrimaryKey(viewInfo, r)
+		if err != nil {
+			return err
+		}
+		targets = append(targets, target{viewKey: key, row: r})
+	}
+
+	client := sys.Engine.Client()
+	markCell := func(v []byte) []hbase.Cell {
+		return []hbase.Cell{{Qualifier: phoenix.DirtyQualifier, Value: v, TS: opts.TS}}
+	}
+	putCells := func(row schema.Row) []hbase.Cell {
+		cells := phoenix.RowToCells(row)
+		for i := range cells {
+			cells[i].TS = opts.TS
+		}
+		return cells
+	}
+
+	// Step 3: mark rows (view + covered view-index copies; key-only
+	// maintenance indexes are never read by queries and need no marks).
+	if mark {
+		for _, tg := range targets {
+			if err := client.Put(ctx, viewInfo.Name, tg.viewKey, markCell(dirtyOn)); err != nil {
+				return err
+			}
+			for _, idx := range viewInfo.Indexes {
+				if idx.KeyOnly {
+					continue
+				}
+				if err := client.Put(ctx, idx.Name, phoenix.IndexKey(viewInfo, idx, tg.row), markCell(dirtyOn)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Step 4: issue the updates.
+	for ti := range targets {
+		tg := &targets[ti]
+		updated := tg.row.Clone()
+		for c, v := range parts.assign {
+			updated[c] = v
+		}
+		if err := client.Put(ctx, viewInfo.Name, tg.viewKey, putCells(parts.assign)); err != nil {
+			return err
+		}
+		opts.Notify(viewInfo.Name, tg.viewKey)
+		for _, idx := range viewInfo.Indexes {
+			oldKey := phoenix.IndexKey(viewInfo, idx, tg.row)
+			newKey := phoenix.IndexKey(viewInfo, idx, updated)
+			if oldKey != newKey {
+				if err := client.DeleteAt(ctx, idx.Name, oldKey, opts.TS); err != nil {
+					return err
+				}
+				cells := putCells(phoenix.IndexRowContent(viewInfo, idx, updated))
+				if mark && !idx.KeyOnly {
+					cells = append(cells, hbase.Cell{Qualifier: phoenix.DirtyQualifier, Value: dirtyOn, TS: opts.TS})
+				}
+				if err := client.Put(ctx, idx.Name, newKey, cells); err != nil {
+					return err
+				}
+				opts.Notify(idx.Name, newKey)
+				continue
+			}
+			if !phoenix.IndexTouched(viewInfo, idx, parts.assign) {
+				continue
+			}
+			if err := client.Put(ctx, idx.Name, newKey, putCells(parts.assign)); err != nil {
+				return err
+			}
+			opts.Notify(idx.Name, newKey)
+		}
+		tg.row = updated
+	}
+
+	// Step 5: un-mark.
+	if mark {
+		for _, tg := range targets {
+			if err := client.Put(ctx, viewInfo.Name, tg.viewKey, markCell(dirtyOff)); err != nil {
+				return err
+			}
+			for _, idx := range viewInfo.Indexes {
+				if idx.KeyOnly {
+					continue
+				}
+				if err := client.Put(ctx, idx.Name, phoenix.IndexKey(viewInfo, idx, tg.row), markCell(dirtyOff)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// locateViewRows finds the view rows affected by an update per the plan's
+// locator (§VII-C).
+func (sys *System) locateViewRows(ctx *sim.Ctx, action core.ViewAction, viewInfo *phoenix.TableInfo, parts *writeParts, read hbase.ReadOpts) ([]schema.Row, error) {
+	switch action.Locator {
+	case core.LocateByViewKey:
+		row, found, err := sys.Engine.GetRow(ctx, viewInfo, read, parts.keyVals...)
+		if err != nil || !found {
+			return nil, err
+		}
+		return []schema.Row{row}, nil
+
+	case core.LocateByIndex:
+		// The maintenance index stores only keys (§VII-C); collect the
+		// view keys it yields, then read the full rows.
+		prefix := schema.KeyPrefix(parts.keyVals...)
+		sc, err := sys.Engine.Client().Scan(ctx, action.LocatorIndex.Name(), hbase.ScanSpec{Prefix: prefix, Read: read})
+		if err != nil {
+			return nil, err
+		}
+		var keys [][]schema.Value
+		for {
+			r, ok := sc.Next(ctx)
+			if !ok {
+				break
+			}
+			row := phoenix.CellsToRow(r)
+			vals := make([]schema.Value, len(viewInfo.Key))
+			for i, c := range viewInfo.Key {
+				vals[i] = row[c]
+			}
+			keys = append(keys, vals)
+		}
+		var out []schema.Row
+		for _, vals := range keys {
+			full, found, err := sys.Engine.GetRow(ctx, viewInfo, read, vals...)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				out = append(out, full)
+			}
+		}
+		return out, nil
+
+	default: // LocateByScan
+		rel := sys.Design.Schema.Relation(parts.table)
+		pk := rel.PK
+		keyVals := parts.keyVals
+		sc, err := sys.Engine.Client().Scan(ctx, viewInfo.Name, hbase.ScanSpec{
+			Read: read,
+			Filter: func(r hbase.RowResult) bool {
+				row := phoenix.CellsToRow(r)
+				for i, c := range pk {
+					if !schema.ValuesEqual(row[c], keyVals[i]) {
+						return false
+					}
+				}
+				return true
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		var out []schema.Row
+		for {
+			r, ok := sc.Next(ctx)
+			if !ok {
+				return out, nil
+			}
+			out = append(out, phoenix.CellsToRow(r))
+		}
+	}
+}

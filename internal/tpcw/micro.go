@@ -1,0 +1,95 @@
+package tpcw
+
+import (
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+)
+
+// MicroSchema is the three-relation micro-benchmark schema of Figure 8:
+// Customer, Order and Order_line linked by key/foreign-key edges.
+func MicroSchema() *schema.Schema {
+	s := schema.New()
+	s.AddRelation(&schema.Relation{
+		Name: "Customer",
+		Columns: []schema.Column{
+			{Name: "c_id", Type: schema.TInt},
+			{Name: "c_uname", Type: schema.TString},
+			{Name: "c_since", Type: schema.TInt},
+		},
+		PK: []string{"c_id"},
+	})
+	s.AddRelation(&schema.Relation{
+		Name: "MOrder",
+		Columns: []schema.Column{
+			{Name: "o_id", Type: schema.TInt},
+			{Name: "o_c_id", Type: schema.TInt},
+			{Name: "o_date", Type: schema.TInt},
+			{Name: "o_total", Type: schema.TFloat},
+		},
+		PK:  []string{"o_id"},
+		FKs: []schema.ForeignKey{{Cols: []string{"o_c_id"}, RefTable: "Customer"}},
+	})
+	s.AddRelation(&schema.Relation{
+		Name: "MOrder_line",
+		Columns: []schema.Column{
+			{Name: "ol_o_id", Type: schema.TInt},
+			{Name: "ol_id", Type: schema.TInt},
+			{Name: "ol_i_id", Type: schema.TInt},
+			{Name: "ol_qty", Type: schema.TInt},
+		},
+		PK:  []string{"ol_o_id", "ol_id"},
+		FKs: []schema.ForeignKey{{Cols: []string{"ol_o_id"}, RefTable: "MOrder"}},
+	})
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MicroRoots: the micro-benchmark hierarchy is rooted at Customer.
+func MicroRoots() []string { return []string{"Customer"} }
+
+// Micro-benchmark workload (Figure 9): the two full join queries whose
+// materializations are Customer-Order and Customer-Order-Order_line.
+const (
+	MicroQ1 = `SELECT * FROM Customer c, MOrder o WHERE c.c_id = o.o_c_id`
+	MicroQ2 = `SELECT * FROM Customer c, MOrder o, MOrder_line ol
+	           WHERE c.c_id = o.o_c_id AND o.o_id = ol.ol_o_id`
+)
+
+// MicroWorkloadSQL feeds the design pipeline.
+func MicroWorkloadSQL() []string { return []string{MicroQ1, MicroQ2} }
+
+// MicroGenerate builds the micro-benchmark database with the paper's 1:10
+// cardinality ratios: numCust customers, 10 orders each, 10 lines per order
+// (§IX-B2).
+func MicroGenerate(numCust int, seed int64) map[string][]schema.Row {
+	rng := sim.NewRNG(seed).Derive("micro")
+	customers := make([]schema.Row, 0, numCust)
+	orders := make([]schema.Row, 0, numCust*10)
+	lines := make([]schema.Row, 0, numCust*100)
+	oid := int64(0)
+	for c := int64(1); c <= int64(numCust); c++ {
+		customers = append(customers, schema.Row{
+			"c_id": c, "c_uname": Uname(c), "c_since": int64(rng.IntRange(10000, 20000)),
+		})
+		for o := 0; o < 10; o++ {
+			oid++
+			orders = append(orders, schema.Row{
+				"o_id": oid, "o_c_id": c,
+				"o_date":  int64(rng.IntRange(19000, 20000)),
+				"o_total": float64(rng.IntRange(100, 99999)) / 100,
+			})
+			for l := int64(1); l <= 10; l++ {
+				lines = append(lines, schema.Row{
+					"ol_o_id": oid, "ol_id": l,
+					"ol_i_id": int64(rng.IntRange(1, 10*numCust)),
+					"ol_qty":  int64(rng.IntRange(1, 10)),
+				})
+			}
+		}
+	}
+	return map[string][]schema.Row{
+		"Customer": customers, "MOrder": orders, "MOrder_line": lines,
+	}
+}

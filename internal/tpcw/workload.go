@@ -1,0 +1,354 @@
+package tpcw
+
+import (
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+)
+
+// StmtKind classifies workload statements.
+type StmtKind int
+
+const (
+	KindJoin StmtKind = iota
+	KindWrite
+	KindRead
+)
+
+// Stmt is one statement of the extracted TPC-W workload: its SQL template
+// and a parameter generator drawing valid values from the generated data.
+type Stmt struct {
+	ID     string
+	SQL    string
+	Kind   StmtKind
+	Params func(d *Data, rng *sim.RNG) []schema.Value
+}
+
+func randCust(d *Data, rng *sim.RNG) int64  { return int64(rng.IntRange(1, d.Card.Customers)) }
+func randItem(d *Data, rng *sim.RNG) int64  { return int64(rng.IntRange(1, d.Card.Items)) }
+func randOrder(d *Data, rng *sim.RNG) int64 { return int64(rng.IntRange(1, d.Card.Orders)) }
+func randCart(d *Data, rng *sim.RNG) int64  { return int64(rng.IntRange(1, d.Card.Carts)) }
+func randSubject(rng *sim.RNG) string       { return Subjects[rng.Intn(len(Subjects))] }
+
+// JoinQueries returns Q1-Q11 per Figure 15.
+func JoinQueries() []Stmt {
+	return []Stmt{
+		{
+			ID: "Q1", Kind: KindJoin,
+			// Item x Order_line, filter ol_o_id (order display).
+			SQL: `SELECT * FROM Item i, Order_line ol WHERE ol.ol_i_id = i.i_id AND ol.ol_o_id = ?`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randOrder(d, rng)}
+			},
+		},
+		{
+			ID: "Q2", Kind: KindJoin,
+			// Customer x Orders, filter c_uname, most recent order.
+			SQL: `SELECT * FROM Customer c, Orders o WHERE c.c_id = o.o_c_id AND c.c_uname = ?
+			      ORDER BY o.o_date DESC, o.o_id DESC LIMIT 1`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{Uname(randCust(d, rng))}
+			},
+		},
+		{
+			ID: "Q3", Kind: KindJoin,
+			// Customer x Address x Country, filter c_uname.
+			SQL: `SELECT * FROM Customer c, Address a, Country co
+			      WHERE c.c_addr_id = a.addr_id AND a.addr_co_id = co.co_id AND c.c_uname = ?`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{Uname(randCust(d, rng))}
+			},
+		},
+		{
+			ID: "Q4", Kind: KindJoin,
+			// Author x Item, filter i_subject, order by title.
+			SQL: `SELECT * FROM Author a, Item i WHERE a.a_id = i.i_a_id AND i.i_subject = ?
+			      ORDER BY i.i_title LIMIT 50`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randSubject(rng)}
+			},
+		},
+		{
+			ID: "Q5", Kind: KindJoin,
+			// Author x Item, filter i_subject, newest first.
+			SQL: `SELECT * FROM Author a, Item i WHERE a.a_id = i.i_a_id AND i.i_subject = ?
+			      ORDER BY i.i_pub_date DESC, i.i_title LIMIT 50`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randSubject(rng)}
+			},
+		},
+		{
+			ID: "Q6", Kind: KindJoin,
+			// Author x Item, filter i_id (book detail page).
+			SQL: `SELECT * FROM Author a, Item i WHERE a.a_id = i.i_a_id AND i.i_id = ?`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randItem(d, rng)}
+			},
+		},
+		{
+			ID: "Q7", Kind: KindJoin,
+			// Order display: orders x customer x two addresses x two
+			// countries, filter o_id.
+			SQL: `SELECT * FROM Orders o, Customer c, Address ship_addr, Address bill_addr,
+			      Country ship_co, Country bill_co
+			      WHERE o.o_c_id = c.c_id
+			      AND o.o_ship_addr_id = ship_addr.addr_id AND ship_addr.addr_co_id = ship_co.co_id
+			      AND o.o_bill_addr_id = bill_addr.addr_id AND bill_addr.addr_co_id = bill_co.co_id
+			      AND o.o_id = ?`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randOrder(d, rng)}
+			},
+		},
+		{
+			ID: "Q8", Kind: KindJoin,
+			// Item x Shopping_cart_line, filter scl_sc_id (cart view).
+			SQL: `SELECT * FROM Item i, Shopping_cart_line scl
+			      WHERE scl.scl_i_id = i.i_id AND scl.scl_sc_id = ?`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randCart(d, rng)}
+			},
+		},
+		{
+			ID: "Q9", Kind: KindJoin,
+			// Item self-join on related items (not a key/foreign-key
+			// join: no view applies, and VoltDB cannot partition for
+			// it).
+			SQL: `SELECT J.i_id, J.i_title FROM Item I, Item J
+			      WHERE I.i_related1 = J.i_id AND I.i_id = ?`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randItem(d, rng)}
+			},
+		},
+		{
+			ID: "Q10", Kind: KindJoin,
+			// Best sellers: author x item x order_line restricted to
+			// the 3333 most recent orders.
+			SQL: `SELECT i.i_id, i.i_title, a.a_fname, a.a_lname, SUM(ol.ol_qty) AS qty
+			      FROM Author a, Item i, Order_line ol,
+			      (SELECT o_id FROM Orders ORDER BY o_date DESC LIMIT 3333) t
+			      WHERE a.a_id = i.i_a_id AND ol.ol_i_id = i.i_id AND ol.ol_o_id = t.o_id
+			      AND i.i_subject = ?
+			      GROUP BY i.i_id ORDER BY qty DESC LIMIT 50`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randSubject(rng)}
+			},
+		},
+		{
+			ID: "Q11", Kind: KindJoin,
+			// Also-bought: order lines co-occurring with an item in
+			// recent orders.
+			SQL: `SELECT ol2.ol_i_id, SUM(ol2.ol_qty) AS qty
+			      FROM Order_line ol, Order_line ol2,
+			      (SELECT o_id FROM Orders ORDER BY o_date DESC LIMIT 3333) t
+			      WHERE ol.ol_i_id = ? AND ol.ol_o_id = t.o_id
+			      AND ol2.ol_o_id = ol.ol_o_id AND ol2.ol_i_id <> ?
+			      GROUP BY ol2.ol_i_id ORDER BY qty DESC LIMIT 5`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				i := randItem(d, rng)
+				return []schema.Value{i, i}
+			},
+		},
+	}
+}
+
+// WriteStatements returns W1-W13 per Figure 16. The multi-row cart-clearing
+// DELETE is excluded exactly as in §IX-D1.
+func WriteStatements() []Stmt {
+	return []Stmt{
+		{
+			ID: "W1", Kind: KindWrite, // Insert Orders
+			SQL: `INSERT INTO Orders (o_id, o_c_id, o_date, o_sub_total, o_tax, o_total,
+			      o_ship_type, o_ship_date, o_bill_addr_id, o_ship_addr_id, o_status)
+			      VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				sub := float64(rng.IntRange(1000, 99999)) / 100
+				return []schema.Value{
+					d.NextOrderID(), randCust(d, rng), int64(rng.IntRange(19000, 20000)),
+					sub, sub * 0.0825, sub * 1.0825, "AIR", int64(rng.IntRange(19000, 20100)),
+					int64(rng.IntRange(1, d.Card.Addresses)), int64(rng.IntRange(1, d.Card.Addresses)),
+					"PENDING",
+				}
+			},
+		},
+		{
+			ID: "W2", Kind: KindWrite, // Insert CC_Xacts
+			SQL: `INSERT INTO CC_Xacts (cx_o_id, cx_type, cx_num, cx_name, cx_expire,
+			      cx_auth_id, cx_xact_amt, cx_xact_date, cx_co_id)
+			      VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{
+					randOrder(d, rng), "VISA", rng.String(16, 16), rng.String(10, 25),
+					int64(rng.IntRange(20000, 22000)), rng.String(15, 15),
+					float64(rng.IntRange(1000, 99999)) / 100, int64(rng.IntRange(19000, 20000)),
+					int64(rng.IntRange(1, d.Card.Countries)),
+				}
+			},
+		},
+		{
+			ID: "W3", Kind: KindWrite, // Insert Order_line
+			SQL: `INSERT INTO Order_line (ol_o_id, ol_id, ol_i_id, ol_qty, ol_discount, ol_comments)
+			      VALUES (?, ?, ?, ?, ?, ?)`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{
+					randOrder(d, rng), d.seqOL.Add(1) + 100, randItem(d, rng),
+					int64(rng.IntRange(1, 10)), float64(rng.IntRange(0, 30)) / 100, rng.String(20, 50),
+				}
+			},
+		},
+		{
+			ID: "W4", Kind: KindWrite, // Insert Customer
+			SQL: `INSERT INTO Customer (c_id, c_uname, c_passwd, c_fname, c_lname, c_addr_id,
+			      c_phone, c_email, c_since, c_last_login, c_login, c_expiration,
+			      c_discount, c_balance, c_ytd_pmt, c_birthdate, c_data)
+			      VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				id := d.NextCustomerID()
+				return []schema.Value{
+					id, Uname(id), rng.String(8, 8), rng.String(5, 12), rng.String(5, 14),
+					int64(rng.IntRange(1, d.Card.Addresses)), rng.String(10, 12), rng.String(12, 20),
+					int64(19500), int64(19600), int64(0), int64(21000),
+					0.1, 0.0, 0.0, int64(1980), rng.String(60, 120),
+				}
+			},
+		},
+		{
+			ID: "W5", Kind: KindWrite, // Insert Address
+			SQL: `INSERT INTO Address (addr_id, addr_street1, addr_street2, addr_city,
+			      addr_state, addr_zip, addr_co_id) VALUES (?, ?, ?, ?, ?, ?, ?)`,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{
+					d.NextAddressID(), rng.String(12, 24), rng.String(0, 12), rng.String(6, 14),
+					rng.String(2, 2), rng.String(5, 5), int64(rng.IntRange(1, d.Card.Countries)),
+				}
+			},
+		},
+		{
+			ID:  "W6",
+			SQL: `INSERT INTO Shopping_cart (sc_id, sc_time) VALUES (?, ?)`, Kind: KindWrite,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{d.NextCartID(), int64(rng.IntRange(19000, 20000))}
+			},
+		},
+		{
+			ID:  "W7",
+			SQL: `INSERT INTO Shopping_cart_line (scl_sc_id, scl_i_id, scl_qty) VALUES (?, ?, ?)`, Kind: KindWrite,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randCart(d, rng), randItem(d, rng), int64(rng.IntRange(1, 5))}
+			},
+		},
+		{
+			ID:  "W8",
+			SQL: `DELETE FROM Shopping_cart_line WHERE scl_sc_id = ? AND scl_i_id = ?`, Kind: KindWrite,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				line := d.CartLines[rng.Intn(len(d.CartLines))]
+				return []schema.Value{line[0], line[1]}
+			},
+		},
+		{
+			ID:  "W9", // Update Item1: stock after a purchase
+			SQL: `UPDATE Item SET i_stock = ? WHERE i_id = ?`, Kind: KindWrite,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{int64(rng.IntRange(10, 30)), randItem(d, rng)}
+			},
+		},
+		{
+			ID: "W10", // Update Item2: admin update
+			SQL: `UPDATE Item SET i_cost = ?, i_image = ?, i_thumbnail = ?, i_pub_date = ?
+			      WHERE i_id = ?`, Kind: KindWrite,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{
+					float64(rng.IntRange(50, 9000)) / 100, rng.String(20, 30), rng.String(20, 30),
+					int64(rng.IntRange(19000, 20000)), randItem(d, rng),
+				}
+			},
+		},
+		{
+			ID:  "W11",
+			SQL: `UPDATE Shopping_cart SET sc_time = ? WHERE sc_id = ?`, Kind: KindWrite,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{int64(rng.IntRange(19000, 20000)), randCart(d, rng)}
+			},
+		},
+		{
+			ID:  "W12",
+			SQL: `UPDATE Shopping_cart_line SET scl_qty = ? WHERE scl_sc_id = ? AND scl_i_id = ?`, Kind: KindWrite,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				line := d.CartLines[rng.Intn(len(d.CartLines))]
+				return []schema.Value{int64(rng.IntRange(1, 9)), line[0], line[1]}
+			},
+		},
+		{
+			ID: "W13", // Update Customer (buy confirm)
+			SQL: `UPDATE Customer SET c_balance = ?, c_ytd_pmt = ?, c_last_login = ?, c_login = ?
+			      WHERE c_id = ?`, Kind: KindWrite,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{
+					float64(rng.IntRange(-100, 1000)), float64(rng.IntRange(0, 10000)) / 10,
+					int64(rng.IntRange(19000, 20000)), int64(rng.IntRange(0, 100)), randCust(d, rng),
+				}
+			},
+		},
+	}
+}
+
+// PointReads returns the non-join read statements the servlets issue.
+func PointReads() []Stmt {
+	return []Stmt{
+		{
+			ID:  "R1",
+			SQL: `SELECT * FROM Item WHERE i_id = ?`, Kind: KindRead,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randItem(d, rng)}
+			},
+		},
+		{
+			ID:  "R2",
+			SQL: `SELECT * FROM Customer WHERE c_uname = ?`, Kind: KindRead,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{Uname(randCust(d, rng))}
+			},
+		},
+		{
+			ID:  "R3",
+			SQL: `SELECT * FROM Shopping_cart_line WHERE scl_sc_id = ?`, Kind: KindRead,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value {
+				return []schema.Value{randCart(d, rng)}
+			},
+		},
+		{
+			ID:     "R4",
+			SQL:    `SELECT co_id, co_name FROM Country`,
+			Kind:   KindRead,
+			Params: func(d *Data, rng *sim.RNG) []schema.Value { return nil },
+		},
+	}
+}
+
+// AllStatements is the full extracted statement set (§IX-D1: "extracted set
+// of SQL statements represents our workload").
+func AllStatements() []Stmt {
+	var out []Stmt
+	out = append(out, JoinQueries()...)
+	out = append(out, WriteStatements()...)
+	out = append(out, PointReads()...)
+	return out
+}
+
+// WorkloadSQL returns every statement's SQL, the input to the Synergy design
+// pipeline.
+func WorkloadSQL() []string {
+	var out []string
+	for _, s := range AllStatements() {
+		out = append(out, s.SQL)
+	}
+	return out
+}
+
+// StatementByID finds a statement.
+func StatementByID(id string) (Stmt, bool) {
+	for _, s := range AllStatements() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Stmt{}, false
+}

@@ -1,0 +1,343 @@
+// Package zk is a simulated ZooKeeper ensemble: a hierarchical znode
+// namespace with ephemeral and sequential nodes, one-shot watches and
+// sessions. In the paper's architecture (Figure 7) ZooKeeper coordinates
+// HBase (master liveness, region assignment bookkeeping) and the Synergy
+// transaction layer (slave failure detection by the master, §VIII).
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors mirroring ZooKeeper's error codes.
+var (
+	ErrNoNode        = errors.New("zk: no node")
+	ErrNodeExists    = errors.New("zk: node exists")
+	ErrNotEmpty      = errors.New("zk: node has children")
+	ErrSessionClosed = errors.New("zk: session closed")
+)
+
+// EventType identifies what happened to a watched node.
+type EventType int
+
+const (
+	EventCreated EventType = iota
+	EventDataChanged
+	EventDeleted
+	EventChildren
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventCreated:
+		return "created"
+	case EventDataChanged:
+		return "data-changed"
+	case EventDeleted:
+		return "deleted"
+	case EventChildren:
+		return "children"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is delivered on a watch channel when a watched node changes.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+type znode struct {
+	data     []byte
+	ephemera *Session // owning session if ephemeral, else nil
+	children map[string]*znode
+	seq      int64 // next sequential-child counter
+
+	dataWatches  []chan Event
+	childWatches []chan Event
+}
+
+// Ensemble is the coordination service. A single Ensemble stands in for the
+// replicated ZooKeeper quorum.
+type Ensemble struct {
+	mu      sync.Mutex
+	root    *znode
+	nextSID int64
+}
+
+// NewEnsemble returns an empty namespace with a root node "/".
+func NewEnsemble() *Ensemble {
+	return &Ensemble{root: &znode{children: map[string]*znode{}}}
+}
+
+// Session is one client connection. Closing it removes its ephemeral nodes,
+// which is the liveness signal masters watch for.
+type Session struct {
+	ens    *Ensemble
+	id     int64
+	closed bool
+	owned  map[string]struct{} // ephemeral paths owned by this session
+}
+
+// NewSession opens a session.
+func (e *Ensemble) NewSession() *Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextSID++
+	return &Session{ens: e, id: e.nextSID, owned: map[string]struct{}{}}
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() int64 { return s.id }
+
+func splitPath(path string) ([]string, error) {
+	if !strings.HasPrefix(path, "/") || path != strings.TrimRight(path, "/") && path != "/" {
+		return nil, fmt.Errorf("zk: invalid path %q", path)
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	return strings.Split(strings.TrimPrefix(path, "/"), "/"), nil
+}
+
+// lookup walks to the node at path. Caller holds e.mu.
+func (e *Ensemble) lookup(path string) (*znode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	n := e.root
+	for _, p := range parts {
+		next, ok := n.children[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoNode, path)
+		}
+		n = next
+	}
+	return n, nil
+}
+
+func notify(chans *[]chan Event, ev Event) {
+	for _, ch := range *chans {
+		select {
+		case ch <- ev:
+		default: // a slow watcher must not block the ensemble
+		}
+	}
+	*chans = nil // ZooKeeper watches are one-shot
+}
+
+// CreateOpts control node creation.
+type CreateOpts struct {
+	Ephemeral  bool
+	Sequential bool
+}
+
+// Create makes a znode at path with the given data. For sequential nodes the
+// returned path carries the generated suffix. Parents must exist.
+func (s *Session) Create(path string, data []byte, opts CreateOpts) (string, error) {
+	e := s.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return "", ErrSessionClosed
+	}
+	parts, err := splitPath(path)
+	if err != nil {
+		return "", err
+	}
+	if len(parts) == 0 {
+		return "", fmt.Errorf("%w: /", ErrNodeExists)
+	}
+	parentPath := "/" + strings.Join(parts[:len(parts)-1], "/")
+	if len(parts) == 1 {
+		parentPath = "/"
+	}
+	parent, err := e.lookup(parentPath)
+	if err != nil {
+		return "", err
+	}
+	name := parts[len(parts)-1]
+	if opts.Sequential {
+		name = fmt.Sprintf("%s%010d", name, parent.seq)
+		parent.seq++
+	}
+	if _, dup := parent.children[name]; dup {
+		return "", fmt.Errorf("%w: %s", ErrNodeExists, path)
+	}
+	n := &znode{data: append([]byte(nil), data...), children: map[string]*znode{}}
+	if opts.Ephemeral {
+		n.ephemera = s
+	}
+	parent.children[name] = n
+	full := parentPath + "/" + name
+	if parentPath == "/" {
+		full = "/" + name
+	}
+	if opts.Ephemeral {
+		s.owned[full] = struct{}{}
+	}
+	notify(&parent.childWatches, Event{Type: EventChildren, Path: parentPath})
+	return full, nil
+}
+
+// Get returns the node's data and arms an optional one-shot data watch.
+func (s *Session) Get(path string, watch chan Event) ([]byte, error) {
+	e := s.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	n, err := e.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if watch != nil {
+		n.dataWatches = append(n.dataWatches, watch)
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Set replaces the node's data.
+func (s *Session) Set(path string, data []byte) error {
+	e := s.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	n, err := e.lookup(path)
+	if err != nil {
+		return err
+	}
+	n.data = append([]byte(nil), data...)
+	notify(&n.dataWatches, Event{Type: EventDataChanged, Path: path})
+	return nil
+}
+
+// Exists reports node presence and arms an optional one-shot watch that
+// fires on creation, change or deletion.
+func (s *Session) Exists(path string, watch chan Event) (bool, error) {
+	e := s.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return false, ErrSessionClosed
+	}
+	n, err := e.lookup(path)
+	if errors.Is(err, ErrNoNode) {
+		// Watch for creation: arm on the parent's child watches.
+		if watch != nil {
+			if parent, perr := e.lookup(parentOf(path)); perr == nil {
+				parent.childWatches = append(parent.childWatches, watch)
+			}
+		}
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if watch != nil {
+		n.dataWatches = append(n.dataWatches, watch)
+	}
+	return true, nil
+}
+
+func parentOf(path string) string {
+	i := strings.LastIndex(path, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// Children lists a node's children, sorted, arming an optional one-shot
+// child watch.
+func (s *Session) Children(path string, watch chan Event) ([]string, error) {
+	e := s.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	n, err := e.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if watch != nil {
+		n.childWatches = append(n.childWatches, watch)
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete removes a childless node.
+func (s *Session) Delete(path string) error {
+	e := s.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	return e.deleteLocked(path)
+}
+
+func (e *Ensemble) deleteLocked(path string) error {
+	n, err := e.lookup(path)
+	if err != nil {
+		return err
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	parent, err := e.lookup(parentOf(path))
+	if err != nil {
+		return err
+	}
+	name := path[strings.LastIndex(path, "/")+1:]
+	delete(parent.children, name)
+	if n.ephemera != nil {
+		delete(n.ephemera.owned, path)
+	}
+	notify(&n.dataWatches, Event{Type: EventDeleted, Path: path})
+	notify(&parent.childWatches, Event{Type: EventChildren, Path: parentOf(path)})
+	return nil
+}
+
+// Close ends the session, deleting its ephemeral nodes (firing watches).
+// Closing twice is harmless.
+func (s *Session) Close() {
+	e := s.ens
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	paths := make([]string, 0, len(s.owned))
+	for p := range s.owned {
+		paths = append(paths, p)
+	}
+	// Delete deepest-first so parents empty out before removal.
+	sort.Slice(paths, func(i, j int) bool { return len(paths[i]) > len(paths[j]) })
+	for _, p := range paths {
+		_ = e.deleteLocked(p)
+	}
+}
+
+// Closed reports whether the session has ended.
+func (s *Session) Closed() bool {
+	s.ens.mu.Lock()
+	defer s.ens.mu.Unlock()
+	return s.closed
+}
