@@ -1,0 +1,3 @@
+module synergy
+
+go 1.24

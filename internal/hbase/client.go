@@ -167,6 +167,13 @@ type ScanSpec struct {
 	Filter func(RowResult) bool
 	// Batch overrides the scanner caching (rows per RPC).
 	Batch int
+	// Sequential forces region-at-a-time draining even when the scan
+	// could scatter-gather. Point probes and short prefix scans set it:
+	// their fan-out overhead outweighs the parallelism.
+	Sequential bool
+	// Parallelism caps the in-flight region scans of a scatter-gather
+	// scan (0 = the cost model's ScanParallelism).
+	Parallelism int
 }
 
 func (s ScanSpec) bounds() (start, stop string) {
@@ -179,15 +186,25 @@ func (s ScanSpec) bounds() (start, stop string) {
 }
 
 // Scanner streams rows from a table in key order across regions.
+//
+// Unlimited scans over multi-region ranges run in scatter-gather mode, as
+// real Phoenix does for intra-query parallelism: a bounded worker pool
+// drains every in-range region concurrently and the client folds the
+// disjoint per-region streams back into one key-ordered stream. Limit-
+// bounded scans (and spec.Sequential) keep the region-at-a-time path, where
+// early termination beats parallel prefetch. A Scanner assumes one sim.Ctx
+// per request: the ctx passed to Next/Close is the one the scatter-gather
+// fork/join cost is charged to.
 type Scanner struct {
 	client  *Client
 	tbl     *table
 	spec    ScanSpec
 	batch   int
 	regions []*Region
-	ri      int    // current region index
-	resume  string // next key within current region
-	opened  bool   // ScanOpen charged for current region
+	par     *parScanner // nil in sequential mode
+	ri      int         // current region index
+	resume  string      // next key within current region
+	opened  bool        // ScanOpen charged for current region
 	buf     []RowResult
 	bi      int
 	sent    int
@@ -206,20 +223,37 @@ func (c *Client) Scan(ctx *sim.Ctx, tbl string, spec ScanSpec) (*Scanner, error)
 	if batch <= 0 {
 		batch = c.hc.costs.ScannerBatch
 	}
-	return &Scanner{
+	s := &Scanner{
 		client:  c,
 		tbl:     t,
 		spec:    spec,
 		batch:   batch,
 		regions: t.regionsInRange(start, stop),
 		resume:  start,
-	}, nil
+	}
+	if spec.Limit <= 0 && !spec.Sequential && len(s.regions) > 1 {
+		par := spec.Parallelism
+		if par <= 0 {
+			par = c.hc.costs.ScanParallelism
+		}
+		if par > 1 {
+			s.par = startParScan(ctx, s, par)
+		}
+	}
+	return s, nil
 }
 
 // Next returns the next row. ok is false when the scan is exhausted.
 func (s *Scanner) Next(ctx *sim.Ctx) (row RowResult, ok bool) {
 	if s.done {
 		return RowResult{}, false
+	}
+	if s.par != nil {
+		row, ok = s.par.next(ctx)
+		if !ok {
+			s.done = true
+		}
+		return row, ok
 	}
 	for s.bi >= len(s.buf) {
 		if !s.fetch(ctx) {
@@ -234,6 +268,43 @@ func (s *Scanner) Next(ctx *sim.Ctx) (row RowResult, ok bool) {
 		s.done = true
 	}
 	return row, true
+}
+
+// Close releases an unfinished scan. A fully drained scanner needs no
+// Close; callers that abandon a scan early (dirty-read restarts) must call
+// it so scatter-gather workers stop and their already-performed work is
+// still charged to ctx.
+func (s *Scanner) Close(ctx *sim.Ctx) {
+	if s.par != nil {
+		s.par.close(ctx)
+	}
+	s.done = true
+}
+
+// fetchChunk performs one scanner RPC against region r, charging ctx for
+// the server-side work and the response shipment. It is shared by the
+// sequential path and the scatter-gather workers so that both modes charge
+// identically. next is "" when the region is exhausted; truncated reports
+// that the stop key cut the chunk, meaning every remaining key in this and
+// any later region is out of range.
+func (s *Scanner) fetchChunk(ctx *sim.Ctx, r *Region, resume string, want int, stop string) (rows []RowResult, next string, truncated bool) {
+	hc := s.client.hc
+	rows, examined, next := r.scanChunk(resume, want, s.spec.Read, s.spec.Filter)
+	if stop != "" {
+		for len(rows) > 0 && rows[len(rows)-1].Key >= stop {
+			rows = rows[:len(rows)-1]
+			truncated = true
+		}
+	}
+	ctx.CountRowsScanned(examined)
+	ctx.Charge(sim.Micros(int64(examined) * int64(hc.costs.ScanNextRow)))
+	bytes := 0
+	for _, row := range rows {
+		bytes += row.Bytes()
+	}
+	ctx.CountRowsReturned(len(rows))
+	hc.cl.RPC(ctx, s.client.node, r.server, bytes)
+	return rows, next, truncated
 }
 
 // fetch pulls the next chunk from the current region, advancing to the next
@@ -256,29 +327,19 @@ func (s *Scanner) fetch(ctx *sim.Ctx) bool {
 				want = remaining
 			}
 		}
-		rows, examined, next := r.scanChunk(s.resume, want, s.spec.Read, s.spec.Filter)
-		// Enforce the stop key (regions may extend past it).
-		if stop != "" {
-			for len(rows) > 0 && rows[len(rows)-1].Key >= stop {
-				rows = rows[:len(rows)-1]
-				next = ""
-			}
-		}
-		ctx.CountRowsScanned(examined)
-		ctx.Charge(sim.Micros(int64(examined) * int64(hc.costs.ScanNextRow)))
-		bytes := 0
-		for _, row := range rows {
-			bytes += row.Bytes()
-		}
-		ctx.CountRowsReturned(len(rows))
-		hc.cl.RPC(ctx, s.client.node, r.server, bytes)
-		if next == "" {
+		rows, next, truncated := s.fetchChunk(ctx, r, s.resume, want, stop)
+		switch {
+		case truncated:
+			// Terminate so no further region is ever opened.
+			s.ri = len(s.regions)
+			s.opened = false
+		case next == "":
 			s.ri++
 			s.opened = false
 			if s.ri < len(s.regions) {
 				s.resume = s.regions[s.ri].start
 			}
-		} else {
+		default:
 			s.resume = next
 		}
 		if len(rows) > 0 {

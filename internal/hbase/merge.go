@@ -1,0 +1,192 @@
+package hbase
+
+import "sort"
+
+// mergeSource is one sorted (key, *rowData) stream feeding a rowMerger:
+// either a region's memstore or one immutable store file. rank orders
+// sources on key ties — memstore first, then store files newest-first — so
+// a merged row's parts keep the same precedence the write path established.
+type mergeSource struct {
+	rank int
+	key  string // current key; valid while the source is on the heap
+	pos  int
+	rows []hrow              // store-file source (nil for a memstore source)
+	keys []string            // memstore key list
+	mem  map[string]*rowData // memstore rows
+}
+
+func (s *mergeSource) data() *rowData {
+	if s.rows != nil {
+		return s.rows[s.pos].data
+	}
+	return s.mem[s.key]
+}
+
+// advance moves to the next row, reporting false when the source is drained.
+func (s *mergeSource) advance() bool {
+	s.pos++
+	if s.rows != nil {
+		if s.pos >= len(s.rows) {
+			return false
+		}
+		s.key = s.rows[s.pos].key
+		return true
+	}
+	if s.pos >= len(s.keys) {
+		return false
+	}
+	s.key = s.keys[s.pos]
+	return true
+}
+
+func (s *mergeSource) left() int {
+	if s.rows != nil {
+		return len(s.rows) - s.pos
+	}
+	return len(s.keys) - s.pos
+}
+
+// rowMerger streams (key, parts) pairs in ascending key order from any
+// number of sorted sources via a binary min-heap keyed on each source's
+// current row key. It replaces the O(sources) linear min-search per row the
+// scan and compaction paths used to do with O(log sources) sift operations.
+type rowMerger struct {
+	heap  []*mergeSource
+	parts []*rowData // scratch, reused across next calls
+}
+
+// newRowMerger positions every non-empty source at the first key >= start.
+// mem may be nil (compaction merges store files only).
+func newRowMerger(mem *memStore, files []*hfile, start string) *rowMerger {
+	m := &rowMerger{heap: make([]*mergeSource, 0, len(files)+1)}
+	if mem != nil && mem.len() > 0 {
+		keys := mem.sortedKeys()
+		if i := sort.SearchStrings(keys, start); i < len(keys) {
+			m.heap = append(m.heap, &mergeSource{key: keys[i], pos: i, keys: keys, mem: mem.rows})
+		}
+	}
+	for fi, f := range files {
+		if i := f.seek(start); i < len(f.rows) {
+			m.heap = append(m.heap, &mergeSource{rank: fi + 1, key: f.rows[i].key, pos: i, rows: f.rows})
+		}
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m
+}
+
+// remaining upper-bounds the number of distinct keys left (sources may share
+// keys), which is what result-buffer sizing needs.
+func (m *rowMerger) remaining() int {
+	n := 0
+	for _, s := range m.heap {
+		n += s.left()
+	}
+	return n
+}
+
+// next pops the smallest key and every source part carrying it, in rank
+// order. The returned parts slice is reused by the following next call.
+func (m *rowMerger) next() (key string, parts []*rowData, ok bool) {
+	if len(m.heap) == 0 {
+		return "", nil, false
+	}
+	key = m.heap[0].key
+	m.parts = m.parts[:0]
+	for len(m.heap) > 0 && m.heap[0].key == key {
+		src := m.heap[0]
+		m.parts = append(m.parts, src.data())
+		if src.advance() {
+			m.siftDown(0)
+		} else {
+			last := len(m.heap) - 1
+			m.heap[0] = m.heap[last]
+			m.heap = m.heap[:last]
+			m.siftDown(0)
+		}
+	}
+	return key, m.parts, true
+}
+
+func (m *rowMerger) less(i, j int) bool {
+	a, b := m.heap[i], m.heap[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.rank < b.rank
+}
+
+func (m *rowMerger) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(m.heap) && m.less(l, small) {
+			small = l
+		}
+		if r < len(m.heap) && m.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.heap[i], m.heap[small] = m.heap[small], m.heap[i]
+		i = small
+	}
+}
+
+// mergeCellsInto merges the sorted cell lists of parts into dst, reusing
+// dst's capacity. The merge is stable across parts — on coordinate ties the
+// earlier (higher-precedence) part wins — unlike the unstable sort the old
+// merged() relied on.
+func mergeCellsInto(dst []Cell, parts []*rowData) []Cell {
+	total := 0
+	for _, p := range parts {
+		total += len(p.cells)
+	}
+	if cap(dst) < total {
+		dst = make([]Cell, 0, total)
+	} else {
+		dst = dst[:0]
+	}
+	switch len(parts) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, parts[0].cells...)
+	case 2:
+		a, b := parts[0].cells, parts[1].cells
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if cellLess(b[j], a[i]) {
+				dst = append(dst, b[j])
+				j++
+			} else {
+				dst = append(dst, a[i])
+				i++
+			}
+		}
+		dst = append(dst, a[i:]...)
+		return append(dst, b[j:]...)
+	default:
+		// Store-file fan-in per row is small; a linear pick beats heap
+		// overhead at this width.
+		idx := make([]int, len(parts))
+		for {
+			min := -1
+			for pi, p := range parts {
+				if idx[pi] >= len(p.cells) {
+					continue
+				}
+				if min < 0 || cellLess(p.cells[idx[pi]], parts[min].cells[idx[min]]) {
+					min = pi
+				}
+			}
+			if min < 0 {
+				return dst
+			}
+			dst = append(dst, parts[min].cells[idx[min]])
+			idx[min]++
+		}
+	}
+}

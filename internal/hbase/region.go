@@ -1,6 +1,8 @@
 package hbase
 
 import (
+	"bytes"
+	"encoding/binary"
 	"sort"
 	"sync"
 )
@@ -31,8 +33,12 @@ func (f *hfile) find(key string) *rowData {
 
 // memStore is the in-memory write buffer of a region.
 type memStore struct {
-	rows   map[string]*rowData
-	keys   []string
+	rows map[string]*rowData
+	keys []string
+
+	// sortMu guards the lazy key sort so that concurrent scans — which
+	// hold only the region read lock — do not race re-sorting keys.
+	sortMu sync.Mutex
 	sorted bool
 }
 
@@ -52,10 +58,12 @@ func (m *memStore) upsert(key string) *rowData {
 }
 
 func (m *memStore) sortedKeys() []string {
+	m.sortMu.Lock()
 	if !m.sorted {
 		sort.Strings(m.keys)
 		m.sorted = true
 	}
+	m.sortMu.Unlock()
 	return m.keys
 }
 
@@ -153,23 +161,11 @@ func (r *Region) checkAndPut(key, qualifier string, expected []byte, c Cell) boo
 	if rd := r.lookupLocked(key); rd != nil {
 		current = rd.read(ReadOpts{})[qualifier]
 	}
-	if !bytesEqual(current, expected) {
+	if !bytes.Equal(current, expected) {
 		return false
 	}
 	rd := r.mem.upsert(key)
 	rd.apply(c, r.spec.MaxVersions)
-	return true
-}
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
 	return true
 }
 
@@ -181,15 +177,12 @@ func (r *Region) increment(key, qualifier string, delta int64, ts int64) int64 {
 	var cur int64
 	if rd := r.lookupLocked(key); rd != nil {
 		if v := rd.read(ReadOpts{})[qualifier]; len(v) == 8 {
-			cur = int64(uint64(v[0])<<56 | uint64(v[1])<<48 | uint64(v[2])<<40 | uint64(v[3])<<32 |
-				uint64(v[4])<<24 | uint64(v[5])<<16 | uint64(v[6])<<8 | uint64(v[7]))
+			cur = int64(binary.BigEndian.Uint64(v))
 		}
 	}
 	cur += delta
 	buf := make([]byte, 8)
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(cur) >> (56 - 8*i))
-	}
+	binary.BigEndian.PutUint64(buf, uint64(cur))
 	rd := r.mem.upsert(key)
 	rd.apply(Cell{Qualifier: qualifier, Value: buf, TS: ts}, r.spec.MaxVersions)
 	return cur
@@ -203,53 +196,31 @@ func (r *Region) scanChunk(start string, limit int, opts ReadOpts, filter func(R
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 
-	memKeys := r.mem.sortedKeys()
-	mi := sort.SearchStrings(memKeys, start)
-	fidx := make([]int, len(r.files))
-	for i, f := range r.files {
-		fidx[i] = f.seek(start)
+	m := newRowMerger(r.mem, r.files, start)
+	if limit > 0 {
+		rows = make([]RowResult, 0, min(limit, m.remaining()))
+	} else {
+		rows = make([]RowResult, 0, m.remaining())
 	}
-
+	var scratch rowData // reused for transient multi-part merges
 	for limit <= 0 || len(rows) < limit {
-		// Find the smallest candidate key across sources.
-		best := ""
-		if mi < len(memKeys) {
-			best = memKeys[mi]
-		}
-		for i, f := range r.files {
-			if fidx[i] < len(f.rows) {
-				if k := f.rows[fidx[i]].key; best == "" || k < best {
-					best = k
-				}
-			}
-		}
-		if best == "" || (r.end != "" && best >= r.end) {
+		key, parts, ok := m.next()
+		if !ok || (r.end != "" && key >= r.end) {
 			return rows, examined, ""
-		}
-
-		var parts []*rowData
-		if mi < len(memKeys) && memKeys[mi] == best {
-			parts = append(parts, r.mem.rows[best])
-			mi++
-		}
-		for i, f := range r.files {
-			if fidx[i] < len(f.rows) && f.rows[fidx[i]].key == best {
-				parts = append(parts, f.rows[fidx[i]].data)
-				fidx[i]++
-			}
 		}
 		var rd *rowData
 		if len(parts) == 1 {
 			rd = parts[0]
 		} else {
-			rd = merged(parts...)
+			scratch.cells = mergeCellsInto(scratch.cells, parts)
+			rd = &scratch
 		}
 		examined++
 		cells := rd.read(opts)
 		if len(cells) == 0 {
 			continue // deleted or invisible row
 		}
-		res := RowResult{Key: best, Cells: cells}
+		res := RowResult{Key: key, Cells: cells}
 		if filter != nil && !filter(res) {
 			continue
 		}
@@ -291,37 +262,23 @@ func (r *Region) majorCompact() {
 	if len(r.files) == 0 {
 		return
 	}
-	// K-way merge of sorted files.
-	var out []hrow
-	idx := make([]int, len(r.files))
+	// Heap-based k-way merge of the sorted store files.
+	m := newRowMerger(nil, r.files, "")
+	out := make([]hrow, 0, m.remaining())
 	for {
-		best := ""
-		for i, f := range r.files {
-			if idx[i] < len(f.rows) {
-				if k := f.rows[idx[i]].key; best == "" || k < best {
-					best = k
-				}
-			}
-		}
-		if best == "" {
+		key, parts, ok := m.next()
+		if !ok {
 			break
-		}
-		var parts []*rowData
-		for i, f := range r.files {
-			if idx[i] < len(f.rows) && f.rows[idx[i]].key == best {
-				parts = append(parts, f.rows[idx[i]].data)
-				idx[i]++
-			}
 		}
 		var rd *rowData
 		if len(parts) == 1 {
 			rd = parts[0].clone()
 		} else {
-			rd = merged(parts...)
+			rd = &rowData{cells: mergeCellsInto(nil, parts)}
 		}
 		rd.compact(r.spec.MaxVersions)
 		if !rd.empty() {
-			out = append(out, hrow{key: best, data: rd})
+			out = append(out, hrow{key: key, data: rd})
 		}
 	}
 	r.files = []*hfile{{rows: out}}

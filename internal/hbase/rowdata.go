@@ -69,6 +69,9 @@ func (r *rowData) read(opts ReadOpts) map[string][]byte {
 		}
 	}
 
+	// The map is allocated only once a visible cell is found, so fully
+	// tombstoned or invisible rows cost no allocation; it is presized to
+	// the remaining qualifier-group count so wide rows never rehash.
 	var out map[string][]byte
 	i := 0
 	for i < len(r.cells) {
@@ -90,7 +93,7 @@ func (r *rowData) read(opts ReadOpts) map[string][]byte {
 					break // hidden by row tombstone
 				}
 				if out == nil {
-					out = make(map[string][]byte)
+					out = make(map[string][]byte, r.qualifiersFrom(i))
 				}
 				out[q] = c.Value
 				break
@@ -99,6 +102,19 @@ func (r *rowData) read(opts ReadOpts) map[string][]byte {
 		i = j
 	}
 	return out
+}
+
+// qualifiersFrom counts distinct qualifiers from cell index i on.
+func (r *rowData) qualifiersFrom(i int) int {
+	n := 0
+	for j := i; j < len(r.cells); {
+		q := r.cells[j].Qualifier
+		n++
+		for j < len(r.cells) && r.cells[j].Qualifier == q {
+			j++
+		}
+	}
+	return n
 }
 
 // compact rewrites the row keeping only the newest maxVersions put cells per
@@ -164,21 +180,16 @@ func (r *rowData) clone() *rowData {
 	return &rowData{cells: append([]Cell(nil), r.cells...)}
 }
 
-// merged returns a rowData combining this row's cells with another's,
-// preserving sort order. Used when merging memstore and store files.
+// merged returns a rowData combining the parts' cells in sort order. Parts
+// must be given in precedence order (memstore first, then files newest
+// first); the underlying merge is linear over the already-sorted parts
+// rather than a re-sort, and stable, so earlier parts win coordinate ties.
 func merged(parts ...*rowData) *rowData {
-	total := 0
+	live := make([]*rowData, 0, len(parts))
 	for _, p := range parts {
 		if p != nil {
-			total += len(p.cells)
+			live = append(live, p)
 		}
 	}
-	out := &rowData{cells: make([]Cell, 0, total)}
-	for _, p := range parts {
-		if p != nil {
-			out.cells = append(out.cells, p.cells...)
-		}
-	}
-	sort.Slice(out.cells, func(i, j int) bool { return cellLess(out.cells[i], out.cells[j]) })
-	return out
+	return &rowData{cells: mergeCellsInto(nil, live)}
 }

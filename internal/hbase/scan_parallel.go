@@ -1,0 +1,169 @@
+package hbase
+
+import (
+	"sync"
+
+	"synergy/internal/sim"
+)
+
+// chunkPrefetch bounds how many fetched-but-unconsumed batches each region
+// stream may hold, so a fast producer cannot buffer an entire region ahead
+// of the consumer.
+const chunkPrefetch = 2
+
+// parScanner is the scatter-gather engine behind Scanner: a bounded worker
+// pool drains every in-range region concurrently, and the consumer folds the
+// per-region streams back into one key-ordered stream. Regions hold disjoint
+// ascending key ranges, so the ordered merge delivers region i's buffered
+// chunks before region i+1's while later regions prefetch in the background.
+//
+// Simulated cost follows fork/join semantics: each region stream charges its
+// RPCs and per-row work to a forked child ctx, and when the scan finishes
+// (or is closed early) the parent is charged max(child elapsed) plus a
+// per-chunk merge cost — not the sum, since the region fetches overlap.
+type parScanner struct {
+	s       *Scanner
+	streams []regionStream // one per region, in region (= key) order
+	cancel  chan struct{}
+	wg      sync.WaitGroup
+
+	ci     int // region currently being consumed
+	buf    []RowResult
+	bi     int
+	chunks int64 // chunks folded into the ordered stream
+	joined bool
+}
+
+type regionStream struct {
+	ch  chan []RowResult
+	ctx *sim.Ctx
+}
+
+// startParScan forks one child ctx per region and launches the worker pool.
+// Workers take regions in key order, so the stream the consumer needs next
+// is always among the ones being fetched.
+func startParScan(ctx *sim.Ctx, s *Scanner, parallelism int) *parScanner {
+	p := &parScanner{
+		s:       s,
+		streams: make([]regionStream, len(s.regions)),
+		cancel:  make(chan struct{}),
+	}
+	queue := make(chan int, len(s.regions))
+	for i := range s.regions {
+		p.streams[i] = regionStream{ch: make(chan []RowResult, chunkPrefetch), ctx: ctx.Fork()}
+		queue <- i
+	}
+	close(queue)
+	workers := min(parallelism, len(s.regions))
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(queue)
+	}
+	return p
+}
+
+func (p *parScanner) worker(queue <-chan int) {
+	defer p.wg.Done()
+	for i := range queue {
+		if !p.drainRegion(i) {
+			return // cancelled
+		}
+	}
+}
+
+// drainRegion fetches region i chunk by chunk, charging the region's child
+// ctx exactly as the sequential path charges its parent. Reports false when
+// the scan was cancelled.
+func (p *parScanner) drainRegion(i int) bool {
+	st := p.streams[i]
+	defer close(st.ch)
+	if p.cancelled() {
+		return false
+	}
+	r := p.s.regions[i]
+	start, stop := p.s.spec.bounds()
+	resume := start
+	if resume < r.start {
+		resume = r.start
+	}
+	st.ctx.Charge(p.s.client.hc.costs.ScanOpen)
+	for {
+		rows, next, truncated := p.s.fetchChunk(st.ctx, r, resume, p.s.batch, stop)
+		if len(rows) > 0 {
+			select {
+			case st.ch <- rows:
+			case <-p.cancel:
+				return false
+			}
+		}
+		if truncated || next == "" {
+			return true
+		}
+		// Check between chunks too: a fully filtered-out region never
+		// sends, and a closed scan must not keep draining it.
+		if p.cancelled() {
+			return false
+		}
+		resume = next
+	}
+}
+
+func (p *parScanner) cancelled() bool {
+	select {
+	case <-p.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// next returns the next row in key order, joining the forked costs into ctx
+// once every stream is exhausted.
+func (p *parScanner) next(ctx *sim.Ctx) (RowResult, bool) {
+	for p.bi >= len(p.buf) {
+		if p.ci >= len(p.streams) {
+			p.finish(ctx)
+			return RowResult{}, false
+		}
+		chunk, ok := <-p.streams[p.ci].ch
+		if !ok {
+			p.ci++
+			continue
+		}
+		p.buf, p.bi = chunk, 0
+		p.chunks++
+	}
+	row := p.buf[p.bi]
+	p.bi++
+	return row, true
+}
+
+// close cancels outstanding region fetches and joins whatever work they
+// already performed into ctx.
+func (p *parScanner) close(ctx *sim.Ctx) {
+	if p.joined {
+		return
+	}
+	close(p.cancel)
+	// Unblock producers stuck on full streams, then wait them out.
+	p.wg.Wait()
+	p.join(ctx)
+}
+
+func (p *parScanner) finish(ctx *sim.Ctx) {
+	if p.joined {
+		return
+	}
+	p.wg.Wait() // all streams closed, workers are done or exiting
+	p.join(ctx)
+}
+
+func (p *parScanner) join(ctx *sim.Ctx) {
+	p.joined = true
+	children := make([]*sim.Ctx, len(p.streams))
+	for i := range p.streams {
+		children[i] = p.streams[i].ctx
+	}
+	ctx.Join(children...)
+	ctx.Charge(sim.Micros(p.chunks * int64(p.s.client.hc.costs.ScanMergeChunk)))
+}

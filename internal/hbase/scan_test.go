@@ -1,0 +1,272 @@
+package hbase
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"synergy/internal/cluster"
+	"synergy/internal/sim"
+)
+
+// buildScanFixture creates a pre-split table with a mix of store files and
+// memstore data: bulk-loaded base rows, overwrites, deletes and late puts
+// that never get flushed. Deterministic by construction.
+func buildScanFixture(t testing.TB, rowsN, regions int) (*HCluster, *Client) {
+	t.Helper()
+	hc := NewHCluster(cluster.NewDefault(nil), nil, nil)
+	var splits []string
+	for i := 1; i < regions; i++ {
+		splits = append(splits, scanKey(i*rowsN/regions))
+	}
+	if err := hc.CreateTable(TableSpec{Name: "t", MaxVersions: 3, SplitKeys: splits}); err != nil {
+		t.Fatal(err)
+	}
+	bulk := make([]BulkRow, rowsN)
+	for i := range bulk {
+		bulk[i] = BulkRow{Key: scanKey(i), Cells: []Cell{
+			put("v", fmt.Sprintf("base-%d", i), 0),
+			put("w", fmt.Sprintf("wide-%d", i), 0),
+		}}
+	}
+	if err := hc.BulkLoad("t", bulk); err != nil {
+		t.Fatal(err)
+	}
+	c := hc.NewWarmClient()
+	ctx := sim.NewCtx()
+	// Overwrite every 7th row, delete every 13th, then flush so the scan
+	// has to merge multiple store files.
+	for i := 0; i < rowsN; i += 7 {
+		c.Put(ctx, "t", scanKey(i), []Cell{put("v", fmt.Sprintf("over-%d", i), 0)})
+	}
+	for i := 0; i < rowsN; i += 13 {
+		c.Delete(ctx, "t", scanKey(i))
+	}
+	hc.FlushTable("t")
+	// Late writes stay in the memstore.
+	for i := 0; i < rowsN; i += 11 {
+		c.Put(ctx, "t", scanKey(i), []Cell{put("v", fmt.Sprintf("late-%d", i), 0)})
+	}
+	return hc, c
+}
+
+func scanKey(i int) string { return fmt.Sprintf("k%06d", i) }
+
+func drainSpec(t testing.TB, c *Client, spec ScanSpec) ([]RowResult, sim.Stats) {
+	t.Helper()
+	ctx := sim.NewCtx()
+	sc, err := c.Scan(ctx, "t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := sc.All(ctx)
+	return rows, ctx.Snapshot()
+}
+
+func requireSameRows(t *testing.T, seq, par []RowResult) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: sequential=%d parallel=%d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Key != par[i].Key {
+			t.Fatalf("row %d key: sequential=%q parallel=%q", i, seq[i].Key, par[i].Key)
+		}
+		if len(seq[i].Cells) != len(par[i].Cells) {
+			t.Fatalf("row %q cell counts differ", seq[i].Key)
+		}
+		for q, v := range seq[i].Cells {
+			if !bytes.Equal(v, par[i].Cells[q]) {
+				t.Fatalf("row %q qualifier %q: %q != %q", seq[i].Key, q, v, par[i].Cells[q])
+			}
+		}
+	}
+}
+
+// TestScanParallelSequentialParity is the tentpole's contract: both modes
+// return byte-identical rows in identical key order, across region splits,
+// with multi-file merges, tombstones and memstore overlays in play.
+func TestScanParallelSequentialParity(t *testing.T) {
+	_, c := buildScanFixture(t, 4000, 8)
+	specs := map[string]ScanSpec{
+		"full":       {},
+		"range":      {Start: scanKey(500), Stop: scanKey(3500)},
+		"stop-mid":   {Stop: scanKey(1777)},
+		"filter":     {Filter: func(r RowResult) bool { return len(r.Get("v"))%2 == 0 }},
+		"snapshot":   {Read: ReadOpts{ReadTS: 1}}, // bulk-load stamp only
+		"projection": {Read: ReadOpts{Columns: []string{"w"}}},
+		"smallbatch": {Batch: 17},
+	}
+	for name, spec := range specs {
+		seqSpec, parSpec := spec, spec
+		seqSpec.Sequential = true
+		seq, seqStats := drainSpec(t, c, seqSpec)
+		par, parStats := drainSpec(t, c, parSpec)
+		if len(seq) == 0 {
+			t.Fatalf("%s: fixture returned no rows", name)
+		}
+		requireSameRows(t, seq, par)
+		for i := 1; i < len(par); i++ {
+			if par[i-1].Key >= par[i].Key {
+				t.Fatalf("%s: out of order at %d", name, i)
+			}
+		}
+		// The same physical work happens in either mode; only the
+		// simulated elapsed time may differ.
+		if seqStats.RowsScanned != parStats.RowsScanned || seqStats.RowsReturned != parStats.RowsReturned ||
+			seqStats.RPCs != parStats.RPCs || seqStats.BytesMoved != parStats.BytesMoved {
+			t.Fatalf("%s: work counters diverge: seq=%+v par=%+v", name, seqStats, parStats)
+		}
+	}
+}
+
+// A multi-region scatter-gather scan must simulate faster than draining the
+// regions one at a time, and the gap must come from overlap, not from
+// skipped work.
+func TestScanParallelSimulatedSpeedup(t *testing.T) {
+	_, c := buildScanFixture(t, 4000, 8)
+	_, seqStats := drainSpec(t, c, ScanSpec{Sequential: true})
+	_, parStats := drainSpec(t, c, ScanSpec{})
+	if parStats.Elapsed >= seqStats.Elapsed {
+		t.Fatalf("parallel elapsed %v not below sequential %v", parStats.Elapsed, seqStats.Elapsed)
+	}
+	// 8 regions of equal size: expect the fork/join max to be well under
+	// half the sequential sum even after merge charges.
+	if parStats.Elapsed*2 >= seqStats.Elapsed {
+		t.Fatalf("parallel elapsed %v not at least 2x below sequential %v", parStats.Elapsed, seqStats.Elapsed)
+	}
+}
+
+func TestScanStopKeyAcrossBatches(t *testing.T) {
+	hc := NewHCluster(cluster.NewDefault(nil), nil, nil)
+	mustCreate(t, hc, TableSpec{Name: "t"})
+	c := hc.NewWarmClient()
+	ctx := sim.NewCtx()
+	for i := 0; i < 20; i++ {
+		c.Put(ctx, "t", scanKey(i), []Cell{put("v", "x", 0)})
+	}
+	// Batch of 2 forces the stop key to be hit mid-chunk several fetches
+	// in; the scanner must stop exactly at k5 and never fetch beyond.
+	scanCtx := sim.NewCtx()
+	sc, err := c.Scan(scanCtx, "t", ScanSpec{Stop: scanKey(5), Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := sc.All(scanCtx)
+	if len(rows) != 5 || rows[4].Key != scanKey(4) {
+		t.Fatalf("rows = %d (last %q), want 5 ending at %q", len(rows), rows[len(rows)-1].Key, scanKey(4))
+	}
+	// Chunks [0,1] [2,3] [4,5→trimmed]: exactly 3 scanner RPCs, and the
+	// truncation must terminate the scan rather than re-open the region.
+	if s := scanCtx.Snapshot(); s.RPCs != 3 {
+		t.Fatalf("scanner RPCs = %d, want 3", s.RPCs)
+	}
+}
+
+func TestScanStopKeyNeverOpensLaterRegions(t *testing.T) {
+	hc := NewHCluster(cluster.NewDefault(nil), nil, nil)
+	mustCreate(t, hc, TableSpec{Name: "t", SplitKeys: []string{scanKey(10), scanKey(20)}})
+	c := hc.NewWarmClient()
+	ctx := sim.NewCtx()
+	for i := 0; i < 30; i++ {
+		c.Put(ctx, "t", scanKey(i), []Cell{put("v", "x", 0)})
+	}
+	// Stop inside region 0: regions 1 and 2 must not contribute RPCs.
+	scanCtx := sim.NewCtx()
+	sc, _ := c.Scan(scanCtx, "t", ScanSpec{Stop: scanKey(5), Sequential: true})
+	if rows := sc.All(scanCtx); len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if s := scanCtx.Snapshot(); s.RPCs != 1 {
+		t.Fatalf("RPCs = %d, want 1 (single chunk from region 0)", s.RPCs)
+	}
+}
+
+func TestScanLimitBatchInteraction(t *testing.T) {
+	hc := NewHCluster(cluster.NewDefault(nil), nil, nil)
+	mustCreate(t, hc, TableSpec{Name: "t", SplitKeys: []string{scanKey(10), scanKey(20)}})
+	c := hc.NewWarmClient()
+	ctx := sim.NewCtx()
+	for i := 0; i < 30; i++ {
+		c.Put(ctx, "t", scanKey(i), []Cell{put("v", fmt.Sprint(i), 0)})
+	}
+	cases := []struct {
+		limit, batch, want int
+	}{
+		{7, 3, 7},    // limit not a batch multiple
+		{7, 100, 7},  // batch larger than limit: one trimmed chunk
+		{15, 4, 15},  // limit crosses a region boundary
+		{100, 8, 30}, // limit beyond table size
+		{30, 30, 30}, // exact
+	}
+	for _, tc := range cases {
+		scanCtx := sim.NewCtx()
+		sc, err := c.Scan(scanCtx, "t", ScanSpec{Limit: tc.limit, Batch: tc.batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := sc.All(scanCtx)
+		if len(rows) != tc.want {
+			t.Fatalf("limit=%d batch=%d: rows = %d, want %d", tc.limit, tc.batch, len(rows), tc.want)
+		}
+		for i := range rows {
+			if rows[i].Key != scanKey(i) {
+				t.Fatalf("limit=%d batch=%d: row %d = %q", tc.limit, tc.batch, i, rows[i].Key)
+			}
+		}
+		// A Limit-bounded scan trims its last chunk request, so rows
+		// shipped never exceed the limit.
+		if s := scanCtx.Snapshot(); s.RowsReturned > int64(tc.limit) {
+			t.Fatalf("limit=%d batch=%d: shipped %d rows", tc.limit, tc.batch, s.RowsReturned)
+		}
+	}
+}
+
+func TestScanCloseReleasesWorkers(t *testing.T) {
+	_, c := buildScanFixture(t, 4000, 8)
+	before := runtime.NumGoroutine()
+	ctx := sim.NewCtx()
+	sc, err := c.Scan(ctx, "t", ScanSpec{Batch: 16}) // small batches keep workers alive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sc.Next(ctx); !ok {
+		t.Fatal("expected at least one row")
+	}
+	sc.Close(ctx)
+	if _, ok := sc.Next(ctx); ok {
+		t.Fatal("Next after Close must report exhaustion")
+	}
+	// Abandoned fetch work is still charged.
+	if ctx.Elapsed() <= 0 {
+		t.Fatal("closed scan charged nothing")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("scatter-gather workers leaked: %d goroutines, started with %d", n, before)
+	}
+}
+
+// Prefix scans auto-select mode and must stay correct either way.
+func TestScanPrefixAcrossRegions(t *testing.T) {
+	hc := NewHCluster(cluster.NewDefault(nil), nil, nil)
+	mustCreate(t, hc, TableSpec{Name: "t", SplitKeys: []string{"user/3", "user/6"}})
+	c := hc.NewWarmClient()
+	ctx := sim.NewCtx()
+	for i := 0; i < 9; i++ {
+		c.Put(ctx, "t", fmt.Sprintf("user/%d", i), []Cell{put("v", fmt.Sprint(i), 0)})
+	}
+	c.Put(ctx, "t", "zother", []Cell{put("v", "no", 0)})
+	for _, sequential := range []bool{true, false} {
+		sc, _ := c.Scan(sim.NewCtx(), "t", ScanSpec{Prefix: "user/", Sequential: sequential})
+		rows := sc.All(sim.NewCtx())
+		if len(rows) != 9 {
+			t.Fatalf("sequential=%v: prefix rows = %d, want 9", sequential, len(rows))
+		}
+	}
+}

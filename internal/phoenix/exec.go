@@ -144,6 +144,7 @@ func (q *query) scanBinding(ctx *sim.Ctx, b *binding, plan accessPlan) ([]tuple,
 		if len(plan.eqCols) == len(b.info.Key) {
 			spec.Start = schema.EncodeKey(vals...)
 			spec.Stop = spec.Start + "\x00"
+			spec.Sequential = true // single-row point lookup
 		} else {
 			spec.Prefix = schema.KeyPrefix(vals...)
 		}
@@ -162,8 +163,11 @@ func (q *query) scanBinding(ctx *sim.Ctx, b *binding, plan accessPlan) ([]tuple,
 			spec.Prefix = ""
 			spec.Start = schema.EncodeKey(vals...)
 			spec.Stop = spec.Start + "\x00"
+			spec.Sequential = true // single-row point lookup
 		}
 	}
+	// Full table and index-range scans scatter-gather across regions
+	// (Phoenix intra-query parallelism); point lookups above opt out.
 
 	local := q.local[b.name]
 	spec.Filter = func(r hbase.RowResult) bool {
@@ -195,6 +199,7 @@ func (q *query) scanBinding(ctx *sim.Ctx, b *binding, plan accessPlan) ([]tuple,
 			}
 			if dirtyChecked && IsDirty(r) {
 				dirty = true
+				sc.Close(ctx) // abandon in-flight region fetches
 				break
 			}
 			row := CellsToRow(r)
@@ -434,7 +439,9 @@ func (q *query) indexNestedLoop(ctx *sim.Ctx, outer []tuple, b *binding, plan ac
 		if !ok {
 			return nil, fmt.Errorf("phoenix: internal: INL probe missing values")
 		}
-		spec := hbase.ScanSpec{Prefix: schema.KeyPrefix(vals...), Read: q.opts.Read}
+		// INL probes are per-outer-row point/short-prefix reads; the
+		// scatter-gather fan-out would cost more than it overlaps.
+		spec := hbase.ScanSpec{Prefix: schema.KeyPrefix(vals...), Read: q.opts.Read, Sequential: true}
 		fullKey := (plan.kind == accessPKPrefix && len(plan.eqCols) == len(b.info.Key)) ||
 			(plan.kind == accessIndexPrefix && len(plan.eqCols) == len(plan.index.On)+len(b.info.Key))
 		if fullKey {

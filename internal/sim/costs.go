@@ -52,6 +52,14 @@ type Costs struct {
 	// ScannerBatch is the number of rows fetched per scanner RPC
 	// (Phoenix/HBase scanner caching).
 	ScannerBatch int
+	// ScanParallelism is the number of region scans a scatter-gather
+	// scanner keeps in flight (the Phoenix intra-query thread pool size).
+	ScanParallelism int
+	// ScanMergeChunk is the client-side cost of folding one batch from a
+	// parallel region stream into the key-ordered result stream. Regions
+	// hold disjoint key ranges, so the merge is per-chunk bookkeeping, not
+	// per-row comparison work.
+	ScanMergeChunk Micros
 
 	// The join-algorithm costs below model the client-coordinated join
 	// execution of the Phoenix-style SQL skin (§II-D). They are the
@@ -131,7 +139,9 @@ func DefaultCosts() *Costs {
 		CheckAndPut: FromMillis(0.35),
 		PerByte:     2, // 0.002 µs/byte ≈ 500 MB/s
 
-		ScannerBatch: 1000,
+		ScannerBatch:    1000,
+		ScanParallelism: 8,
+		ScanMergeChunk:  Micros(20),
 
 		JoinBuildRow:    Micros(9),
 		JoinProbeRow:    Micros(9),

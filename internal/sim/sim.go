@@ -86,6 +86,39 @@ func (c *Ctx) Elapsed() Micros {
 	return Micros(c.elapsed.Load())
 }
 
+// Fork returns a child context for one branch of a parallel fan-out (a
+// scatter-gather scan, a parallel view refresh). The branch charges its own
+// work to the child; Join folds the children back into the parent when the
+// fan-out completes.
+func (c *Ctx) Fork() *Ctx { return NewCtx() }
+
+// Join merges forked children back into c. Elapsed time advances by the
+// maximum child elapsed — concurrent branches overlap in wall-clock time, so
+// the request waits only for the slowest one — while the physical work
+// counters advance by the sum, since every branch's rows and RPCs are real
+// work regardless of overlap.
+func (c *Ctx) Join(children ...*Ctx) {
+	if c == nil {
+		return
+	}
+	var longest int64
+	for _, ch := range children {
+		if ch == nil {
+			continue
+		}
+		if e := ch.elapsed.Load(); e > longest {
+			longest = e
+		}
+		c.rpcs.Add(ch.rpcs.Load())
+		c.rowsScanned.Add(ch.rowsScanned.Load())
+		c.rowsReturned.Add(ch.rowsReturned.Load())
+		c.bytesMoved.Add(ch.bytesMoved.Load())
+		c.locks.Add(ch.locks.Load())
+		c.restarts.Add(ch.restarts.Load())
+	}
+	c.elapsed.Add(longest)
+}
+
 // Reset zeroes the context so it can be reused for a new request.
 func (c *Ctx) Reset() {
 	c.elapsed.Store(0)

@@ -190,6 +190,44 @@ func TestDeriveDeterministicProperty(t *testing.T) {
 	}
 }
 
+// Fork/Join models scatter-gather: elapsed advances by the slowest branch,
+// work counters by the sum of all branches.
+func TestForkJoinChargesMaxElapsedSumCounters(t *testing.T) {
+	parent := NewCtx()
+	parent.Charge(100)
+
+	a := parent.Fork()
+	a.Charge(300)
+	a.CountRPC()
+	a.CountRowsScanned(10)
+
+	b := parent.Fork()
+	b.Charge(200)
+	b.CountRPC()
+	b.CountRowsReturned(4)
+	b.CountBytesMoved(1000)
+
+	parent.Join(a, b, nil)
+	if got := parent.Elapsed(); got != 400 {
+		t.Fatalf("elapsed = %v, want 400 (100 + max(300, 200))", got)
+	}
+	s := parent.Snapshot()
+	if s.RPCs != 2 || s.RowsScanned != 10 || s.RowsReturned != 4 || s.BytesMoved != 1000 {
+		t.Fatalf("counters = %+v, want summed child work", s)
+	}
+}
+
+func TestForkJoinEmptyAndNil(t *testing.T) {
+	parent := NewCtx()
+	parent.Charge(50)
+	parent.Join() // no branches: no time passes
+	if parent.Elapsed() != 50 {
+		t.Fatalf("elapsed = %v, want 50", parent.Elapsed())
+	}
+	var nilCtx *Ctx
+	nilCtx.Join(parent.Fork()) // must not panic
+}
+
 func TestDefaultCostsSane(t *testing.T) {
 	c := DefaultCosts()
 	if c.RPC <= 0 || c.ScanNextRow <= 0 || c.ScannerBatch <= 0 {

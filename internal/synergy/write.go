@@ -454,9 +454,10 @@ func (sys *System) locateViewRows(ctx *sim.Ctx, action core.ViewAction, viewInfo
 
 	case core.LocateByIndex:
 		// The maintenance index stores only keys (§VII-C); collect the
-		// view keys it yields, then read the full rows.
+		// view keys it yields, then read the full rows. Locator probes
+		// are short prefix reads, so they stay sequential.
 		prefix := schema.KeyPrefix(parts.keyVals...)
-		sc, err := sys.Engine.Client().Scan(ctx, action.LocatorIndex.Name(), hbase.ScanSpec{Prefix: prefix, Read: read})
+		sc, err := sys.Engine.Client().Scan(ctx, action.LocatorIndex.Name(), hbase.ScanSpec{Prefix: prefix, Read: read, Sequential: true})
 		if err != nil {
 			return nil, err
 		}
@@ -486,6 +487,8 @@ func (sys *System) locateViewRows(ctx *sim.Ctx, action core.ViewAction, viewInfo
 		return out, nil
 
 	default: // LocateByScan
+		// A full view scan with a pushed-down filter; multi-region views
+		// scatter-gather the regions like any other full scan.
 		rel := sys.Design.Schema.Relation(parts.table)
 		pk := rel.PK
 		keyVals := parts.keyVals
