@@ -169,7 +169,11 @@ type ScanSpec struct {
 	Batch int
 	// Sequential forces region-at-a-time draining even when the scan
 	// could scatter-gather. Point probes and short prefix scans set it:
-	// their fan-out overhead outweighs the parallelism.
+	// their fan-out overhead outweighs the parallelism. Limit-bounded
+	// scans scatter-gather only once Limit reaches the chunk size (at
+	// least one full scanner RPC per region), where speculative per-region
+	// prefetch amortizes the fan-out; smaller limits stay sequential for
+	// early termination.
 	Sequential bool
 	// Parallelism caps the in-flight region scans of a scatter-gather
 	// scan (0 = the cost model's ScanParallelism).
@@ -231,7 +235,7 @@ func (c *Client) Scan(ctx *sim.Ctx, tbl string, spec ScanSpec) (*Scanner, error)
 		regions: t.regionsInRange(start, stop),
 		resume:  start,
 	}
-	if spec.Limit <= 0 && !spec.Sequential && len(s.regions) > 1 {
+	if (spec.Limit <= 0 || spec.Limit >= batch) && !spec.Sequential && len(s.regions) > 1 {
 		par := spec.Parallelism
 		if par <= 0 {
 			par = c.hc.costs.ScanParallelism
@@ -252,8 +256,16 @@ func (s *Scanner) Next(ctx *sim.Ctx) (row RowResult, ok bool) {
 		row, ok = s.par.next(ctx)
 		if !ok {
 			s.done = true
+			return row, ok
 		}
-		return row, ok
+		s.sent++
+		if s.spec.Limit > 0 && s.sent >= s.spec.Limit {
+			// Client-side trim: stop the region workers and fold their
+			// already-performed (speculative) work into ctx.
+			s.done = true
+			s.par.close(ctx)
+		}
+		return row, true
 	}
 	for s.bi >= len(s.buf) {
 		if !s.fetch(ctx) {

@@ -192,10 +192,21 @@ func (hc *HCluster) lookup(name string) (*table, error) {
 // walAppend charges the write-ahead-log append for one mutation on a region
 // server: an HDFS pipeline write of the edit.
 func (hc *HCluster) walAppend(ctx *sim.Ctx, server string, editBytes int) {
+	hc.walAppendBatch(ctx, server, editBytes, 1)
+}
+
+// walAppendBatch charges one WAL sync covering edits edits totalling
+// editBytes. Batched mutations pay the HDFS pipeline latency once per batch
+// — the edits travel in one group-committed sync, as real HBase region
+// servers do — while every edit still lands in the log.
+func (hc *HCluster) walAppendBatch(ctx *sim.Ctx, server string, editBytes, edits int) {
+	if edits <= 0 {
+		return
+	}
 	ctx.Charge(hc.costs.WALAppend)
 	ctx.Charge(hc.costs.PerByte.Mul(editBytes * hc.fs.Replication()))
 	hc.walMu.Lock()
-	hc.walSeqs[server]++
+	hc.walSeqs[server] += int64(edits)
 	hc.walMu.Unlock()
 }
 

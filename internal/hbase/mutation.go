@@ -1,0 +1,240 @@
+package hbase
+
+import (
+	"synergy/internal/sim"
+)
+
+// Mutation is one row write — a put or a delete — destined for a batch RPC.
+// A batch may span tables: the Synergy write path fans one logical write
+// into base-table, view and index mutations, and the client groups them by
+// region regardless of table.
+type Mutation struct {
+	Table string
+	Key   string
+	// Cells are the put payload; ignored for deletes.
+	Cells []Cell
+	// Delete marks the mutation as a tombstone write instead of a put.
+	Delete bool
+	// TS stamps the tombstone (deletes) or any zero-timestamp cell (puts);
+	// 0 uses the server clock at apply time.
+	TS int64
+	// Qualifiers restricts a delete to specific columns; empty deletes the
+	// whole row.
+	Qualifiers []string
+}
+
+// PutMutation builds a put.
+func PutMutation(tbl, key string, cells []Cell, ts int64) Mutation {
+	return Mutation{Table: tbl, Key: key, Cells: cells, TS: ts}
+}
+
+// DeleteMutation builds a row (or column) tombstone write.
+func DeleteMutation(tbl, key string, ts int64, qualifiers ...string) Mutation {
+	return Mutation{Table: tbl, Key: key, Delete: true, TS: ts, Qualifiers: qualifiers}
+}
+
+// bytes approximates the wire size of the mutation inside a batch RPC,
+// matching what the eager Put/DeleteAt paths charge for the same mutation
+// so batched and sequential runs stay byte-for-byte comparable.
+func (m *Mutation) bytes() int {
+	if m.Delete {
+		return len(m.Key) + 32
+	}
+	n := 0
+	for _, c := range m.Cells {
+		n += len(m.Key) + len(c.Qualifier) + len(c.Value) + kvOverhead
+	}
+	return n
+}
+
+// regionGroup is the slice of a batch destined for one region, applied under
+// one (or, above MutateMaxBatch, a few) simulated RPCs.
+type regionGroup struct {
+	region *Region
+	muts   []Mutation
+}
+
+// MutateBatch applies a group of puts and deletes as real HBase's
+// Table.batch/BufferedMutator does: mutations are grouped by region, each
+// region's group travels in one batch RPC with one WAL sync (groups larger
+// than Costs.MutateMaxBatch split into several RPCs), and independent
+// regions are dispatched in parallel with fork/join cost accounting — the
+// caller waits for the slowest region, not the sum.
+//
+// Mutations keep their relative order within a row (same row ⇒ same region ⇒
+// same ordered group). Zero timestamps are stamped in batch order before
+// dispatch, so results are deterministic regardless of goroutine scheduling
+// and match what the same sequence of Put/DeleteAt calls would have written.
+func (c *Client) MutateBatch(ctx *sim.Ctx, muts []Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	// Resolve tables first so an unknown table fails before any mutation is
+	// applied, and the meta-cache charges land once per table.
+	tables := make(map[string]*table)
+	for i := range muts {
+		if _, ok := tables[muts[i].Table]; ok {
+			continue
+		}
+		c.prepare(ctx, muts[i].Table)
+		t, err := c.hc.lookup(muts[i].Table)
+		if err != nil {
+			return err
+		}
+		tables[muts[i].Table] = t
+	}
+	// Stamp server-side timestamps in batch order, one per mutation as the
+	// eager path does, then group by region preserving arrival order.
+	var groups []*regionGroup
+	byRegion := make(map[*Region]*regionGroup)
+	for _, m := range muts {
+		if m.TS == 0 {
+			m.TS = c.hc.NextTS()
+		}
+		if !m.Delete {
+			stamped := make([]Cell, len(m.Cells))
+			for i, cell := range m.Cells {
+				if cell.TS == 0 {
+					cell.TS = m.TS
+				}
+				stamped[i] = cell
+			}
+			m.Cells = stamped
+		}
+		r := tables[m.Table].regionFor(m.Key)
+		g := byRegion[r]
+		if g == nil {
+			g = &regionGroup{region: r}
+			byRegion[r] = g
+			groups = append(groups, g)
+		}
+		g.muts = append(g.muts, m)
+	}
+
+	if len(groups) == 1 {
+		c.applyGroup(ctx, groups[0])
+		return nil
+	}
+	// Independent regions dispatch in parallel in the modeled system:
+	// fork/join accounting charges the caller max(region elapsed), not the
+	// sum. The simulator applies the groups on the caller goroutine — the
+	// parallelism being modeled is network/server overlap, which lives in
+	// the charges; the local work is memstore inserts that cost less than
+	// goroutine dispatch (and a serial apply keeps the dirty-mark window
+	// tight and the run deterministic).
+	children := make([]*sim.Ctx, len(groups))
+	for i, g := range groups {
+		children[i] = ctx.Fork()
+		c.applyGroup(children[i], g)
+	}
+	ctx.Join(children...)
+	return nil
+}
+
+// applyGroup ships one region's mutations, splitting at MutateMaxBatch. Each
+// sub-batch pays one RPC + batch overhead + one WAL sync, plus the per-
+// mutation apply costs. A single-mutation sub-batch charges exactly what
+// the eager Put/DeleteAt path charges — there is nothing to amortize, so
+// batching a lone mutation must not cost extra.
+func (c *Client) applyGroup(ctx *sim.Ctx, g *regionGroup) {
+	hc := c.hc
+	maxBatch := hc.costs.MutateMaxBatch
+	if maxBatch <= 0 {
+		maxBatch = len(g.muts)
+	}
+	for off := 0; off < len(g.muts); off += maxBatch {
+		chunk := g.muts[off:min(off+maxBatch, len(g.muts))]
+		bytes := 0
+		for i := range chunk {
+			bytes += chunk[i].bytes()
+		}
+		hc.cl.RPC(ctx, c.node, g.region.server, bytes)
+		if len(chunk) > 1 {
+			ctx.Charge(hc.costs.MutateBatchOverhead)
+		}
+		hc.walAppendBatch(ctx, g.region.server, bytes, len(chunk))
+		for i := range chunk {
+			m := &chunk[i]
+			ctx.Charge(hc.costs.PutApply)
+			if len(chunk) > 1 {
+				ctx.Charge(hc.costs.MutatePerMutation)
+			}
+			if m.Delete {
+				g.region.deleteRow(m.Key, m.TS, m.Qualifiers)
+			} else {
+				g.region.put(m.Key, m.Cells)
+			}
+		}
+	}
+}
+
+// BufferedMutator accumulates mutations and flushes them as batch RPCs, the
+// client-side write pipeline of the batched mutation path. In sequential
+// mode it degenerates to the eager per-mutation Put/DeleteAt path, which is
+// what the batched-vs-sequential benchmarks and parity tests compare
+// against.
+//
+// A BufferedMutator is not safe for concurrent use; like a Scanner it
+// belongs to one request.
+type BufferedMutator struct {
+	c *Client
+	// max triggers an auto-flush when the buffer reaches it.
+	max        int
+	sequential bool
+	muts       []Mutation
+}
+
+// NewBufferedMutator returns a mutator that auto-flushes at
+// Costs.MutateMaxBatch buffered mutations. sequential selects the eager
+// per-mutation path instead of batching.
+func (c *Client) NewBufferedMutator(sequential bool) *BufferedMutator {
+	max := c.hc.costs.MutateMaxBatch
+	if max <= 0 {
+		max = 1 << 30
+	}
+	return &BufferedMutator{c: c, max: max, sequential: sequential}
+}
+
+// Sequential reports whether the mutator issues mutations eagerly.
+func (m *BufferedMutator) Sequential() bool { return m.sequential }
+
+// Pending reports the buffered, unflushed mutation count.
+func (m *BufferedMutator) Pending() int { return len(m.muts) }
+
+// Put buffers (or, sequentially, issues) a row put.
+func (m *BufferedMutator) Put(ctx *sim.Ctx, tbl, key string, cells []Cell) error {
+	if m.sequential {
+		return m.c.Put(ctx, tbl, key, cells)
+	}
+	return m.add(ctx, PutMutation(tbl, key, cells, 0))
+}
+
+// Delete buffers (or issues) a row/column tombstone with an explicit
+// timestamp (0 = server clock).
+func (m *BufferedMutator) Delete(ctx *sim.Ctx, tbl, key string, ts int64, qualifiers ...string) error {
+	if m.sequential {
+		return m.c.DeleteAt(ctx, tbl, key, ts, qualifiers...)
+	}
+	return m.add(ctx, DeleteMutation(tbl, key, ts, qualifiers...))
+}
+
+func (m *BufferedMutator) add(ctx *sim.Ctx, mut Mutation) error {
+	m.muts = append(m.muts, mut)
+	if len(m.muts) >= m.max {
+		return m.Flush(ctx)
+	}
+	return nil
+}
+
+// Flush ships every buffered mutation. A flush boundary is also an ordering
+// barrier: everything buffered before it is applied before anything added
+// after, which is what the dirty-mark / update / un-mark phases of the
+// Synergy write protocol rely on.
+func (m *BufferedMutator) Flush(ctx *sim.Ctx) error {
+	if len(m.muts) == 0 {
+		return nil
+	}
+	muts := m.muts
+	m.muts = nil
+	return m.c.MutateBatch(ctx, muts)
+}

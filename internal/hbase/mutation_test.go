@@ -1,0 +1,251 @@
+package hbase
+
+import (
+	"fmt"
+	"testing"
+
+	"synergy/internal/cluster"
+	"synergy/internal/sim"
+)
+
+// splitCluster builds a table pre-split into `regions` regions over keys
+// produced by scanKey.
+func splitCluster(t *testing.T, regions, span int) (*HCluster, *Client) {
+	t.Helper()
+	hc := NewHCluster(cluster.NewDefault(nil), nil, nil)
+	var splits []string
+	for i := 1; i < regions; i++ {
+		splits = append(splits, scanKey(i*span/regions))
+	}
+	mustCreate(t, hc, TableSpec{Name: "t", SplitKeys: splits})
+	return hc, hc.NewWarmClient()
+}
+
+func totalWALEdits(hc *HCluster) int64 {
+	var n int64
+	for _, node := range []string{"master-0", "slave-0", "slave-1", "slave-2", "slave-3", "slave-4"} {
+		n += hc.WALEdits(node)
+	}
+	return n
+}
+
+// TestMutateBatchMatchesEagerPath is the batch layer's core contract: a
+// batch of puts and deletes leaves the store in exactly the state the same
+// sequence of eager Put/DeleteAt calls produces, and logs the same number
+// of WAL edits.
+func TestMutateBatchMatchesEagerPath(t *testing.T) {
+	build := func() (*HCluster, *Client) { return splitCluster(t, 4, 40) }
+	type op struct {
+		key   string
+		del   bool
+		cells []Cell
+		quals []string
+	}
+	var ops []op
+	for i := 0; i < 40; i++ {
+		ops = append(ops, op{key: scanKey(i), cells: []Cell{put("v", fmt.Sprintf("val-%d", i), 0), put("w", "x", 0)}})
+	}
+	for i := 0; i < 40; i += 5 {
+		ops = append(ops, op{key: scanKey(i), del: true})
+	}
+	for i := 1; i < 40; i += 7 {
+		ops = append(ops, op{key: scanKey(i), del: true, quals: []string{"w"}})
+	}
+	// Re-put over a deleted row within the same batch: order must hold.
+	ops = append(ops, op{key: scanKey(5), cells: []Cell{put("v", "resurrected", 0)}})
+
+	hcBatch, cBatch := build()
+	var muts []Mutation
+	for _, o := range ops {
+		if o.del {
+			muts = append(muts, DeleteMutation("t", o.key, 0, o.quals...))
+		} else {
+			muts = append(muts, PutMutation("t", o.key, o.cells, 0))
+		}
+	}
+	if err := cBatch.MutateBatch(sim.NewCtx(), muts); err != nil {
+		t.Fatal(err)
+	}
+
+	hcEager, cEager := build()
+	ctx := sim.NewCtx()
+	for _, o := range ops {
+		var err error
+		if o.del {
+			err = cEager.DeleteAt(ctx, "t", o.key, 0, o.quals...)
+		} else {
+			err = cEager.Put(ctx, "t", o.key, o.cells)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	drain := func(c *Client) []RowResult {
+		sc, err := c.Scan(sim.NewCtx(), "t", ScanSpec{Sequential: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc.All(sim.NewCtx())
+	}
+	requireSameRows(t, drain(cEager), drain(cBatch))
+	if eb, bb := totalWALEdits(hcEager), totalWALEdits(hcBatch); eb != bb {
+		t.Fatalf("WAL edits diverge: eager=%d batch=%d", eb, bb)
+	}
+}
+
+// One batch RPC per touched region, and fork/join accounting: the batch is
+// charged like the slowest region, not the sum of all regions.
+func TestMutateBatchRegionGroupingAndCost(t *testing.T) {
+	_, c := splitCluster(t, 4, 40)
+	var muts []Mutation
+	for i := 0; i < 40; i++ {
+		muts = append(muts, PutMutation("t", scanKey(i), []Cell{put("v", fmt.Sprint(i), 0)}, 0))
+	}
+	batchCtx := sim.NewCtx()
+	if err := c.MutateBatch(batchCtx, muts); err != nil {
+		t.Fatal(err)
+	}
+	if got := batchCtx.Snapshot().RPCs; got != 4 {
+		t.Fatalf("batch RPCs = %d, want 4 (one per region)", got)
+	}
+
+	_, cEager := splitCluster(t, 4, 40)
+	eagerCtx := sim.NewCtx()
+	for i := 0; i < 40; i++ {
+		if err := cEager.Put(eagerCtx, "t", scanKey(i), []Cell{put("v", fmt.Sprint(i), 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b, e := batchCtx.Elapsed(), eagerCtx.Elapsed(); b*4 >= e {
+		t.Fatalf("batched elapsed %v not at least 4x below eager %v", b, e)
+	}
+}
+
+// A batch holding a single mutation has nothing to amortize: it must charge
+// exactly what the eager Put/DeleteAt path charges for the same mutation.
+func TestMutateBatchOfOneCostsLikeEagerPath(t *testing.T) {
+	_, cBatch := splitCluster(t, 2, 10)
+	_, cEager := splitCluster(t, 2, 10)
+	cells := []Cell{put("v", "x", 0)}
+
+	bCtx, eCtx := sim.NewCtx(), sim.NewCtx()
+	if err := cBatch.MutateBatch(bCtx, []Mutation{PutMutation("t", scanKey(1), cells, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cEager.Put(eCtx, "t", scanKey(1), cells); err != nil {
+		t.Fatal(err)
+	}
+	if bCtx.Elapsed() != eCtx.Elapsed() {
+		t.Fatalf("put-of-one: batched %v != eager %v", bCtx.Elapsed(), eCtx.Elapsed())
+	}
+
+	bCtx, eCtx = sim.NewCtx(), sim.NewCtx()
+	if err := cBatch.MutateBatch(bCtx, []Mutation{DeleteMutation("t", scanKey(1), 0, "v")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cEager.DeleteAt(eCtx, "t", scanKey(1), 0, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if bCtx.Elapsed() != eCtx.Elapsed() {
+		t.Fatalf("delete-of-one: batched %v != eager %v", bCtx.Elapsed(), eCtx.Elapsed())
+	}
+}
+
+// Region groups larger than MutateMaxBatch split into several RPCs.
+func TestMutateBatchMaxBatchSplit(t *testing.T) {
+	costs := sim.DefaultCosts()
+	costs.MutateMaxBatch = 5
+	hc := NewHCluster(cluster.NewDefault(costs), nil, nil)
+	mustCreate(t, hc, TableSpec{Name: "t"})
+	c := hc.NewWarmClient()
+	var muts []Mutation
+	for i := 0; i < 12; i++ {
+		muts = append(muts, PutMutation("t", scanKey(i), []Cell{put("v", "x", 0)}, 0))
+	}
+	ctx := sim.NewCtx()
+	if err := c.MutateBatch(ctx, muts); err != nil {
+		t.Fatal(err)
+	}
+	// 12 mutations, one region, max 5 per RPC: ceil(12/5) = 3 RPCs.
+	if got := ctx.Snapshot().RPCs; got != 3 {
+		t.Fatalf("RPCs = %d, want 3", got)
+	}
+	if got := totalWALEdits(hc); got != 12 {
+		t.Fatalf("WAL edits = %d, want 12", got)
+	}
+}
+
+func TestMutateBatchUnknownTableAppliesNothing(t *testing.T) {
+	_, c := splitCluster(t, 2, 10)
+	muts := []Mutation{
+		PutMutation("t", scanKey(0), []Cell{put("v", "x", 0)}, 0),
+		PutMutation("missing", scanKey(1), []Cell{put("v", "x", 0)}, 0),
+	}
+	if err := c.MutateBatch(sim.NewCtx(), muts); err == nil {
+		t.Fatal("expected unknown-table error")
+	}
+	got, err := c.Get(sim.NewCtx(), "t", scanKey(0), ReadOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() {
+		t.Fatalf("mutation applied despite batch error: %v", got)
+	}
+}
+
+func TestBufferedMutatorAutoFlush(t *testing.T) {
+	costs := sim.DefaultCosts()
+	costs.MutateMaxBatch = 4
+	hc := NewHCluster(cluster.NewDefault(costs), nil, nil)
+	mustCreate(t, hc, TableSpec{Name: "t"})
+	c := hc.NewWarmClient()
+	m := c.NewBufferedMutator(false)
+	ctx := sim.NewCtx()
+	for i := 0; i < 5; i++ {
+		if err := m.Put(ctx, "t", scanKey(i), []Cell{put("v", "x", 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 4th put crossed the threshold and auto-flushed; the 5th waits.
+	if got := m.Pending(); got != 1 {
+		t.Fatalf("pending after auto-flush = %d, want 1", got)
+	}
+	if got, _ := c.Get(sim.NewCtx(), "t", scanKey(3), ReadOpts{}); got.Empty() {
+		t.Fatal("auto-flushed row not visible")
+	}
+	if got, _ := c.Get(sim.NewCtx(), "t", scanKey(4), ReadOpts{}); !got.Empty() {
+		t.Fatal("buffered row visible before Flush")
+	}
+	if err := m.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Get(sim.NewCtx(), "t", scanKey(4), ReadOpts{}); got.Empty() {
+		t.Fatal("row missing after Flush")
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending after Flush = %d", m.Pending())
+	}
+}
+
+// Sequential mode must behave exactly like the eager client calls.
+func TestBufferedMutatorSequentialMode(t *testing.T) {
+	_, c := splitCluster(t, 2, 10)
+	m := c.NewBufferedMutator(true)
+	ctx := sim.NewCtx()
+	if err := m.Put(ctx, "t", scanKey(0), []Cell{put("v", "x", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Pending() != 0 {
+		t.Fatal("sequential mode must not buffer")
+	}
+	if got, _ := c.Get(sim.NewCtx(), "t", scanKey(0), ReadOpts{}); got.Empty() {
+		t.Fatal("sequential put not visible immediately")
+	}
+	if err := m.Delete(ctx, "t", scanKey(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Get(sim.NewCtx(), "t", scanKey(0), ReadOpts{}); !got.Empty() {
+		t.Fatal("sequential delete not applied")
+	}
+}

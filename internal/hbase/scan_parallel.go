@@ -74,6 +74,11 @@ func (p *parScanner) worker(queue <-chan int) {
 // drainRegion fetches region i chunk by chunk, charging the region's child
 // ctx exactly as the sequential path charges its parent. Reports false when
 // the scan was cancelled.
+//
+// Limit-bounded scatter-gather scans cap every region at Limit rows: the
+// merged result takes the first Limit rows in key order, so no single region
+// can contribute more. Rows past the limit in early regions are speculative
+// overfetch — the client trims them and cancels the workers.
 func (p *parScanner) drainRegion(i int) bool {
 	st := p.streams[i]
 	defer close(st.ch)
@@ -82,13 +87,20 @@ func (p *parScanner) drainRegion(i int) bool {
 	}
 	r := p.s.regions[i]
 	start, stop := p.s.spec.bounds()
+	limit := p.s.spec.Limit
 	resume := start
 	if resume < r.start {
 		resume = r.start
 	}
 	st.ctx.Charge(p.s.client.hc.costs.ScanOpen)
+	sent := 0
 	for {
-		rows, next, truncated := p.s.fetchChunk(st.ctx, r, resume, p.s.batch, stop)
+		want := p.s.batch
+		if limit > 0 && limit-sent < want {
+			want = limit - sent
+		}
+		rows, next, truncated := p.s.fetchChunk(st.ctx, r, resume, want, stop)
+		sent += len(rows)
 		if len(rows) > 0 {
 			select {
 			case st.ch <- rows:
@@ -96,7 +108,7 @@ func (p *parScanner) drainRegion(i int) bool {
 				return false
 			}
 		}
-		if truncated || next == "" {
+		if truncated || next == "" || (limit > 0 && sent >= limit) {
 			return true
 		}
 		// Check between chunks too: a fully filtered-out region never

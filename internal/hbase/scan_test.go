@@ -202,25 +202,84 @@ func TestScanLimitBatchInteraction(t *testing.T) {
 		{30, 30, 30}, // exact
 	}
 	for _, tc := range cases {
-		scanCtx := sim.NewCtx()
-		sc, err := c.Scan(scanCtx, "t", ScanSpec{Limit: tc.limit, Batch: tc.batch})
-		if err != nil {
-			t.Fatal(err)
-		}
-		rows := sc.All(scanCtx)
-		if len(rows) != tc.want {
-			t.Fatalf("limit=%d batch=%d: rows = %d, want %d", tc.limit, tc.batch, len(rows), tc.want)
-		}
-		for i := range rows {
-			if rows[i].Key != scanKey(i) {
-				t.Fatalf("limit=%d batch=%d: row %d = %q", tc.limit, tc.batch, i, rows[i].Key)
+		for _, sequential := range []bool{true, false} {
+			scanCtx := sim.NewCtx()
+			sc, err := c.Scan(scanCtx, "t", ScanSpec{Limit: tc.limit, Batch: tc.batch, Sequential: sequential})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := sc.All(scanCtx)
+			if len(rows) != tc.want {
+				t.Fatalf("limit=%d batch=%d seq=%v: rows = %d, want %d", tc.limit, tc.batch, sequential, len(rows), tc.want)
+			}
+			for i := range rows {
+				if rows[i].Key != scanKey(i) {
+					t.Fatalf("limit=%d batch=%d seq=%v: row %d = %q", tc.limit, tc.batch, sequential, i, rows[i].Key)
+				}
+			}
+			s := scanCtx.Snapshot()
+			if sequential {
+				// A sequential Limit scan trims its last chunk request,
+				// so rows shipped never exceed the limit.
+				if s.RowsReturned > int64(tc.limit) {
+					t.Fatalf("limit=%d batch=%d: shipped %d rows", tc.limit, tc.batch, s.RowsReturned)
+				}
+			} else if s.RowsReturned > int64(tc.limit)*3 {
+				// A scatter-gather Limit scan speculatively fetches up to
+				// Limit rows per region (3 regions here) before the
+				// client-side trim.
+				t.Fatalf("limit=%d batch=%d: shipped %d rows, speculative bound is %d", tc.limit, tc.batch, s.RowsReturned, tc.limit*3)
 			}
 		}
-		// A Limit-bounded scan trims its last chunk request, so rows
-		// shipped never exceed the limit.
-		if s := scanCtx.Snapshot(); s.RowsReturned > int64(tc.limit) {
-			t.Fatalf("limit=%d batch=%d: shipped %d rows", tc.limit, tc.batch, s.RowsReturned)
+	}
+}
+
+// TestScanLimitParallelSequentialParity is the limit-bounded scatter-gather
+// contract (ROADMAP follow-up): once Limit is at least a full chunk, the
+// fan-out path with per-region limits and client-side trim returns exactly
+// the rows the sequential path returns.
+func TestScanLimitParallelSequentialParity(t *testing.T) {
+	_, c := buildScanFixture(t, 4000, 8)
+	specs := map[string]ScanSpec{
+		"one-chunk":     {Limit: 64, Batch: 64},
+		"multi-chunk":   {Limit: 900, Batch: 100},
+		"cross-region":  {Limit: 2000, Batch: 250},
+		"range":         {Start: scanKey(500), Stop: scanKey(3500), Limit: 700, Batch: 70},
+		"filtered":      {Limit: 300, Batch: 50, Filter: func(r RowResult) bool { return len(r.Get("v"))%2 == 0 }},
+		"beyond-table":  {Limit: 100_000, Batch: 500},
+		"exactly-table": {Limit: 4000, Batch: 400},
+	}
+	for name, spec := range specs {
+		seqSpec, parSpec := spec, spec
+		seqSpec.Sequential = true
+		seq, _ := drainSpec(t, c, seqSpec)
+		par, parStats := drainSpec(t, c, parSpec)
+		if len(seq) == 0 {
+			t.Fatalf("%s: fixture returned no rows", name)
 		}
+		requireSameRows(t, seq, par)
+		// Early termination must actually stop the workers: speculative
+		// overfetch is bounded by limit rows per region.
+		if spec.Limit > 0 && parStats.RowsReturned > int64(spec.Limit)*8 {
+			t.Fatalf("%s: shipped %d rows, bound %d", name, parStats.RowsReturned, spec.Limit*8)
+		}
+	}
+}
+
+// A limit scan below one chunk keeps the sequential early-termination path
+// even without spec.Sequential.
+func TestScanSmallLimitStaysSequential(t *testing.T) {
+	_, c := buildScanFixture(t, 4000, 8)
+	ctx := sim.NewCtx()
+	sc, err := c.Scan(ctx, "t", ScanSpec{Limit: 5, Batch: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.par != nil {
+		t.Fatal("Limit < chunk size must not scatter-gather")
+	}
+	if rows := sc.All(ctx); len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
 	}
 }
 

@@ -20,6 +20,10 @@ type WriteOpts struct {
 	// OnWrite, when set, observes each (table, rowKey) mutation — the
 	// MVCC layer collects the transaction's write set through it.
 	OnWrite func(table, rowKey string)
+	// Sequential issues every mutation as its own eager RPC instead of
+	// batching them per statement — the pre-pipeline write path, kept for
+	// batched-vs-sequential parity tests and benchmarks.
+	Sequential bool
 }
 
 func (o WriteOpts) Notify(table, key string) {
@@ -144,31 +148,99 @@ func IndexTouched(t *TableInfo, idx *IndexInfo, assign schema.Row) bool {
 	return false
 }
 
+// StampCells sets every cell's timestamp to ts (0 leaves server-side
+// stamping to the store).
+func StampCells(cells []hbase.Cell, ts int64) []hbase.Cell {
+	for i := range cells {
+		cells[i].TS = ts
+	}
+	return cells
+}
+
+// WriteBatch is the mutation pipeline of one DML statement (or one phase of
+// the Synergy maintenance protocol): mutations accumulate in a
+// BufferedMutator and ship as one round of region-grouped batch RPCs,
+// instead of one RPC per mutation. Write-set notifications are recorded in
+// emission order and fire only after the flush succeeds; the Quiet variants
+// skip notification (dirty marks and index-key cleanup are not part of the
+// MVCC write set).
+type WriteBatch struct {
+	m        *hbase.BufferedMutator
+	opts     WriteOpts
+	notifies []struct{ table, key string }
+}
+
+// NewWriteBatch opens a batch honoring opts' Sequential and OnWrite
+// settings.
+func (e *Engine) NewWriteBatch(opts WriteOpts) *WriteBatch {
+	return &WriteBatch{m: e.client.NewBufferedMutator(opts.Sequential), opts: opts}
+}
+
+// Put buffers a row put and records its write-set notification.
+func (b *WriteBatch) Put(ctx *sim.Ctx, tbl, key string, cells []hbase.Cell) error {
+	if err := b.m.Put(ctx, tbl, key, cells); err != nil {
+		return err
+	}
+	b.notifies = append(b.notifies, struct{ table, key string }{tbl, key})
+	return nil
+}
+
+// PutQuiet buffers a row put with no notification.
+func (b *WriteBatch) PutQuiet(ctx *sim.Ctx, tbl, key string, cells []hbase.Cell) error {
+	return b.m.Put(ctx, tbl, key, cells)
+}
+
+// Delete buffers a row tombstone and records its notification.
+func (b *WriteBatch) Delete(ctx *sim.Ctx, tbl, key string, ts int64) error {
+	if err := b.m.Delete(ctx, tbl, key, ts); err != nil {
+		return err
+	}
+	b.notifies = append(b.notifies, struct{ table, key string }{tbl, key})
+	return nil
+}
+
+// DeleteQuiet buffers a row tombstone with no notification.
+func (b *WriteBatch) DeleteQuiet(ctx *sim.Ctx, tbl, key string, ts int64) error {
+	return b.m.Delete(ctx, tbl, key, ts)
+}
+
+// Flush ships the buffered mutations and emits the pending notifications.
+func (b *WriteBatch) Flush(ctx *sim.Ctx) error {
+	if err := b.m.Flush(ctx); err != nil {
+		return err
+	}
+	for _, n := range b.notifies {
+		b.opts.Notify(n.table, n.key)
+	}
+	b.notifies = b.notifies[:0]
+	return nil
+}
+
 // PutRow writes one full row to a table and all of its indexes (Phoenix
-// maintains indexes synchronously on the write path).
+// maintains indexes synchronously on the write path). The base put and
+// every index put travel in one batch flush.
 func (e *Engine) PutRow(ctx *sim.Ctx, t *TableInfo, row schema.Row, opts WriteOpts) error {
+	b := e.NewWriteBatch(opts)
+	if err := e.putRowInto(ctx, b, t, row); err != nil {
+		return err
+	}
+	return b.Flush(ctx)
+}
+
+func (e *Engine) putRowInto(ctx *sim.Ctx, b *WriteBatch, t *TableInfo, row schema.Row) error {
 	key, err := PrimaryKey(t, row)
 	if err != nil {
 		return err
 	}
-	cells := RowToCells(row)
-	for i := range cells {
-		cells[i].TS = opts.TS
-	}
-	if err := e.client.Put(ctx, t.Name, key, cells); err != nil {
+	if err := b.Put(ctx, t.Name, key, StampCells(RowToCells(row), b.opts.TS)); err != nil {
 		return err
 	}
-	opts.Notify(t.Name, key)
 	for _, idx := range t.Indexes {
 		ikey := IndexKey(t, idx, row)
-		icells := RowToCells(IndexRowContent(t, idx, row))
-		for i := range icells {
-			icells[i].TS = opts.TS
-		}
-		if err := e.client.Put(ctx, idx.Name, ikey, icells); err != nil {
+		icells := StampCells(RowToCells(IndexRowContent(t, idx, row)), b.opts.TS)
+		if err := b.Put(ctx, idx.Name, ikey, icells); err != nil {
 			return err
 		}
-		opts.Notify(idx.Name, ikey)
 	}
 	return nil
 }
@@ -219,7 +291,9 @@ func (e *Engine) execUpdate(ctx *sim.Ctx, s *sqlparser.UpdateStmt, params []sche
 }
 
 // UpdateRow applies assignments to one row identified by key values,
-// maintaining indexes.
+// maintaining indexes. The read-before-write stays eager (it feeds index
+// key computation); the base put and every index delete/put flush as one
+// batch.
 func (e *Engine) UpdateRow(ctx *sim.Ctx, t *TableInfo, keyVals []schema.Value, assign schema.Row, opts WriteOpts) error {
 	old, found, err := e.GetRow(ctx, t, opts.Read, keyVals...)
 	if err != nil {
@@ -232,50 +306,37 @@ func (e *Engine) UpdateRow(ctx *sim.Ctx, t *TableInfo, keyVals []schema.Value, a
 	for c, v := range assign {
 		updated[c] = v
 	}
+	b := e.NewWriteBatch(opts)
 	key := schema.EncodeKey(keyVals...)
-	cells := RowToCells(assign)
-	for i := range cells {
-		cells[i].TS = opts.TS
-	}
-	if err := e.client.Put(ctx, t.Name, key, cells); err != nil {
+	if err := b.Put(ctx, t.Name, key, StampCells(RowToCells(assign), opts.TS)); err != nil {
 		return err
 	}
-	opts.Notify(t.Name, key)
 
 	for _, idx := range t.Indexes {
 		oldKey := IndexKey(t, idx, old)
 		newKey := IndexKey(t, idx, updated)
 		if oldKey != newKey {
-			if err := e.client.DeleteAt(ctx, idx.Name, oldKey, opts.TS); err != nil {
+			if err := b.Delete(ctx, idx.Name, oldKey, opts.TS); err != nil {
 				return err
 			}
-			opts.Notify(idx.Name, oldKey)
-			icells := RowToCells(IndexRowContent(t, idx, updated))
-			for i := range icells {
-				icells[i].TS = opts.TS
-			}
-			if err := e.client.Put(ctx, idx.Name, newKey, icells); err != nil {
+			icells := StampCells(RowToCells(IndexRowContent(t, idx, updated)), opts.TS)
+			if err := b.Put(ctx, idx.Name, newKey, icells); err != nil {
 				return err
 			}
-			opts.Notify(idx.Name, newKey)
 			continue
 		}
 		if !IndexTouched(t, idx, assign) {
 			continue // key-only index content unchanged
 		}
-		icells := RowToCells(IndexRowContent(t, idx, assign))
-		for i := range icells {
-			icells[i].TS = opts.TS
-		}
+		icells := StampCells(RowToCells(IndexRowContent(t, idx, assign)), opts.TS)
 		if len(icells) == 0 {
 			continue
 		}
-		if err := e.client.Put(ctx, idx.Name, newKey, icells); err != nil {
+		if err := b.Put(ctx, idx.Name, newKey, icells); err != nil {
 			return err
 		}
-		opts.Notify(idx.Name, newKey)
 	}
-	return nil
+	return b.Flush(ctx)
 }
 
 func (e *Engine) execDelete(ctx *sim.Ctx, s *sqlparser.DeleteStmt, params []schema.Value, opts WriteOpts) error {
@@ -294,7 +355,8 @@ func (e *Engine) execDelete(ctx *sim.Ctx, s *sqlparser.DeleteStmt, params []sche
 	return e.DeleteRow(ctx, t, keyVals, opts)
 }
 
-// DeleteRow removes one row by key values, cleaning up index entries.
+// DeleteRow removes one row by key values, cleaning up index entries. The
+// base tombstone and every index tombstone flush as one batch.
 func (e *Engine) DeleteRow(ctx *sim.Ctx, t *TableInfo, keyVals []schema.Value, opts WriteOpts) error {
 	old, found, err := e.GetRow(ctx, t, opts.Read, keyVals...)
 	if err != nil {
@@ -303,19 +365,17 @@ func (e *Engine) DeleteRow(ctx *sim.Ctx, t *TableInfo, keyVals []schema.Value, o
 	if !found {
 		return nil
 	}
+	b := e.NewWriteBatch(opts)
 	key := schema.EncodeKey(keyVals...)
-	if err := e.client.DeleteAt(ctx, t.Name, key, opts.TS); err != nil {
+	if err := b.Delete(ctx, t.Name, key, opts.TS); err != nil {
 		return err
 	}
-	opts.Notify(t.Name, key)
 	for _, idx := range t.Indexes {
-		ikey := IndexKey(t, idx, old)
-		if err := e.client.DeleteAt(ctx, idx.Name, ikey, opts.TS); err != nil {
+		if err := b.Delete(ctx, idx.Name, IndexKey(t, idx, old), opts.TS); err != nil {
 			return err
 		}
-		opts.Notify(idx.Name, ikey)
 	}
-	return nil
+	return b.Flush(ctx)
 }
 
 // ScanAll reads every row of a table (used by view builders and tests).

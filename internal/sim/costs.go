@@ -45,6 +45,21 @@ type Costs struct {
 	// read-compare-write used for lock acquisition (§IX-C), on top of the
 	// RPC and PutApply costs.
 	CheckAndPut Micros
+	// MutateBatchOverhead is the per-batch server-side cost of a
+	// multi-mutation RPC (request framing, region-server batch setup, one
+	// WAL sync covering the whole batch), charged once per region batch on
+	// top of the RPC round trip. Single-mutation batches skip it (and
+	// MutatePerMutation): they charge exactly like an eager Put.
+	MutateBatchOverhead Micros
+	// MutatePerMutation is the marginal server-side cost of carrying one
+	// extra mutation inside a batch RPC (unmarshalling + dispatch), charged
+	// per mutation in addition to PutApply. It is what keeps very large
+	// batches from being free.
+	MutatePerMutation Micros
+	// MutateMaxBatch caps the mutations sent in one batch RPC; larger
+	// region groups split into multiple RPCs (HBase
+	// hbase.client.write.buffer in rows rather than bytes).
+	MutateMaxBatch int
 	// PerByte is the network transfer cost per payload byte shipped
 	// between nodes.
 	PerByte PerByteCost
@@ -109,9 +124,12 @@ type Costs struct {
 	// write statements (Figure 7: writes are routed through the
 	// transaction layer; reads go directly to HBase).
 	TxnLayerHop Micros
-	// LockRetryBackoff is the simulated wait before retrying a contended
-	// checkAndPut lock acquisition.
+	// LockRetryBackoff is the simulated wait before the first retry of a
+	// contended checkAndPut lock acquisition; subsequent retries back off
+	// exponentially up to LockRetryBackoffMax.
 	LockRetryBackoff Micros
+	// LockRetryBackoffMax caps the exponential lock-retry backoff.
+	LockRetryBackoffMax Micros
 	// DirtyRestartPenalty is charged when a scan observes a dirty-marked
 	// row and restarts (§VIII-C).
 	DirtyRestartPenalty Micros
@@ -139,6 +157,10 @@ func DefaultCosts() *Costs {
 		CheckAndPut: FromMillis(0.35),
 		PerByte:     2, // 0.002 µs/byte ≈ 500 MB/s
 
+		MutateBatchOverhead: FromMillis(0.10),
+		MutatePerMutation:   Micros(3),
+		MutateMaxBatch:      500,
+
 		ScannerBatch:    1000,
 		ScanParallelism: 8,
 		ScanMergeChunk:  Micros(20),
@@ -160,6 +182,7 @@ func DefaultCosts() *Costs {
 
 		TxnLayerHop:         FromMillis(0.5),
 		LockRetryBackoff:    FromMillis(5),
+		LockRetryBackoffMax: FromMillis(80),
 		DirtyRestartPenalty: FromMillis(1),
 	}
 }

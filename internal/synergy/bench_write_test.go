@@ -1,0 +1,111 @@
+package synergy
+
+import (
+	"fmt"
+	"testing"
+
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+)
+
+// BenchmarkMaintenanceWrite measures the maintenance-heavy write path: one
+// UPDATE on the root relation fans out to `views` multi-row view
+// maintenances (locate + mark + update + un-mark over 16 view rows each),
+// batched pipeline vs the sequential per-mutation baseline. Reported
+// sim-ms/op is the simulated statement response time; batched must sit
+// strictly below sequential from 4 views up (the acceptance criterion is
+// also pinned by TestBatchedWriteSimulatedSpeedup).
+func BenchmarkMaintenanceWrite(b *testing.B) {
+	for _, views := range []int{1, 4, 16} {
+		for _, mode := range []struct {
+			name       string
+			sequential bool
+		}{
+			{"sequential", true},
+			{"batched", false},
+		} {
+			b.Run(fmt.Sprintf("views=%d/%s", views, mode.name), func(b *testing.B) {
+				sys := fanoutSystem(b, views, 16, Config{SequentialWrites: mode.sequential})
+				up := sqlparser.MustParse("UPDATE Root SET RVal = ? WHERE RID = ?")
+				b.ReportAllocs()
+				var total sim.Micros
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ctx := sim.NewCtx()
+					if err := sys.Exec(ctx, up, []schema.Value{fmt.Sprintf("v-%d", i), int64(1)}); err != nil {
+						b.Fatal(err)
+					}
+					total += ctx.Elapsed()
+				}
+				b.ReportMetric(total.Milliseconds()/float64(b.N), "sim-ms/op")
+			})
+		}
+	}
+}
+
+// BenchmarkInsertWithViews measures view-tuple construction on insert (one
+// parent read + view put + index puts per applicable view), batched vs
+// sequential. Keys rotate so every iteration inserts a fresh row.
+func BenchmarkInsertWithViews(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		sequential bool
+	}{
+		{"sequential", true},
+		{"batched", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := fanoutSystem(b, 4, 16, Config{SequentialWrites: mode.sequential})
+			ins := sqlparser.MustParse("INSERT INTO Leaf00 (Leaf00ID, Leaf00_RID, Leaf00Val) VALUES (?, ?, ?)")
+			b.ReportAllocs()
+			var total sim.Micros
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := sim.NewCtx()
+				params := []schema.Value{int64(1000 + i), int64(1), fmt.Sprintf("ins-%d", i)}
+				if err := sys.Exec(ctx, ins, params); err != nil {
+					b.Fatal(err)
+				}
+				total += ctx.Elapsed()
+			}
+			b.ReportMetric(total.Milliseconds()/float64(b.N), "sim-ms/op")
+		})
+	}
+}
+
+// BenchmarkDeleteWithViews measures view-tuple teardown on delete (base
+// tombstone + index tombstones + view and view-index tombstones), batched
+// vs sequential. Each iteration inserts (untimed) then deletes (timed).
+func BenchmarkDeleteWithViews(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		sequential bool
+	}{
+		{"sequential", true},
+		{"batched", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := fanoutSystem(b, 4, 16, Config{SequentialWrites: mode.sequential})
+			ins := sqlparser.MustParse("INSERT INTO Leaf00 (Leaf00ID, Leaf00_RID, Leaf00Val) VALUES (?, ?, ?)")
+			del := sqlparser.MustParse("DELETE FROM Leaf00 WHERE Leaf00ID = ?")
+			b.ReportAllocs()
+			var total sim.Micros
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				id := int64(1000 + i)
+				if err := sys.Exec(sim.NewCtx(), ins, []schema.Value{id, int64(1), "doomed"}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				ctx := sim.NewCtx()
+				if err := sys.Exec(ctx, del, []schema.Value{id}); err != nil {
+					b.Fatal(err)
+				}
+				total += ctx.Elapsed()
+			}
+			b.ReportMetric(total.Milliseconds()/float64(b.N), "sim-ms/op")
+		})
+	}
+}

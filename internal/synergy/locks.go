@@ -70,8 +70,9 @@ func (lm *LockManager) EnsureEntry(ctx *sim.Ctx, root, key string) error {
 		[]hbase.Cell{{Qualifier: lockQualifier, Value: lockFree}})
 }
 
-// Acquire takes the lock on a root row key, spinning with simulated backoff
-// while contended (§IX-C uses the same checkAndPut mechanism). The client
+// Acquire takes the lock on a root row key, spinning with capped exponential
+// simulated backoff while contended (§IX-C uses the same checkAndPut
+// mechanism). The client
 // may be cold — the Figure 11 experiment measures exactly that path via
 // AcquireWith.
 func (lm *LockManager) Acquire(ctx *sim.Ctx, root, key string) error {
@@ -81,6 +82,24 @@ func (lm *LockManager) Acquire(ctx *sim.Ctx, root, key string) error {
 // AcquireWith acquires using a caller-supplied (possibly cold) client.
 func (lm *LockManager) AcquireWith(ctx *sim.Ctx, client *hbase.Client, root, key string) error {
 	return lm.acquire(ctx, client, root, key)
+}
+
+// backoff returns the simulated wait before retry number attempt (0-based):
+// exponential from LockRetryBackoff, capped at LockRetryBackoffMax. A zero
+// cap keeps the historical fixed backoff.
+func (lm *LockManager) backoff(attempt int) sim.Micros {
+	d := lm.costs.LockRetryBackoff
+	max := lm.costs.LockRetryBackoffMax
+	if max <= 0 {
+		return d
+	}
+	for ; attempt > 0 && d < max; attempt-- {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 func (lm *LockManager) acquire(ctx *sim.Ctx, client *hbase.Client, root, key string) error {
@@ -106,7 +125,7 @@ func (lm *LockManager) acquire(ctx *sim.Ctx, client *hbase.Client, root, key str
 			ctx.CountLock()
 			return nil
 		}
-		ctx.Charge(lm.costs.LockRetryBackoff)
+		ctx.Charge(lm.backoff(attempt))
 		runtime.Gosched()
 	}
 	return fmt.Errorf("synergy: lock %s/%q: too many attempts", root, key)

@@ -62,6 +62,11 @@ type Config struct {
 	// Concurrency selects hierarchical locking (Synergy) or MVCC
 	// (Phoenix-Tephra style).
 	Concurrency ConcurrencyMode
+	// SequentialWrites disables the batched mutation pipeline: every
+	// mutation of the write path pays its own RPC, as the pre-batching
+	// client did. Kept for batched-vs-sequential parity tests and
+	// benchmarks.
+	SequentialWrites bool
 }
 
 // System is a deployed Synergy instance.

@@ -187,14 +187,14 @@ func (sys *System) resolveRootKey(ctx *sim.Ctx, plan *core.WritePlan, baseRow sc
 func (sys *System) ExecuteWrite(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
 	if sys.cfg.Concurrency == MVCC {
 		tx := sys.MVCCServer.Begin(ctx)
-		opts := phoenix.WriteOpts{TS: tx.ID(), Read: tx.ReadOpts(), OnWrite: tx.RecordWrite}
+		opts := phoenix.WriteOpts{TS: tx.ID(), Read: tx.ReadOpts(), OnWrite: tx.RecordWrite, Sequential: sys.cfg.SequentialWrites}
 		if err := sys.executeWriteBody(ctx, stmt, params, opts, false); err != nil {
 			sys.MVCCServer.Abort(ctx, tx)
 			return err
 		}
 		return sys.MVCCServer.Commit(ctx, tx)
 	}
-	return sys.executeWriteBody(ctx, stmt, params, phoenix.WriteOpts{}, true)
+	return sys.executeWriteBody(ctx, stmt, params, phoenix.WriteOpts{Sequential: sys.cfg.SequentialWrites}, true)
 }
 
 // executeWriteBody is the shared base-write + view-maintenance procedure.
@@ -353,89 +353,88 @@ func (sys *System) maintainUpdate(ctx *sim.Ctx, action core.ViewAction, parts *w
 		targets = append(targets, target{viewKey: key, row: r})
 	}
 
-	client := sys.Engine.Client()
+	// Each phase of the protocol is one batch: the dirty marks flush before
+	// any update is issued, the updates flush before any row is un-marked.
+	// Within a phase, mutations to independent rows (and regions) carry no
+	// ordering requirement, so they ship as region-grouped batch RPCs; the
+	// Flush boundaries preserve exactly the ordering the dirty-read
+	// protocol requires. Marks are quiet (not part of the MVCC write set);
+	// the step-4 notifications fire when that phase's flush lands.
+	batch := sys.Engine.NewWriteBatch(opts)
 	markCell := func(v []byte) []hbase.Cell {
 		return []hbase.Cell{{Qualifier: phoenix.DirtyQualifier, Value: v, TS: opts.TS}}
 	}
 	putCells := func(row schema.Row) []hbase.Cell {
-		cells := phoenix.RowToCells(row)
-		for i := range cells {
-			cells[i].TS = opts.TS
-		}
-		return cells
+		return phoenix.StampCells(phoenix.RowToCells(row), opts.TS)
 	}
-
-	// Step 3: mark rows (view + covered view-index copies; key-only
-	// maintenance indexes are never read by queries and need no marks).
-	if mark {
+	markAll := func(value []byte) error {
 		for _, tg := range targets {
-			if err := client.Put(ctx, viewInfo.Name, tg.viewKey, markCell(dirtyOn)); err != nil {
+			if err := batch.PutQuiet(ctx, viewInfo.Name, tg.viewKey, markCell(value)); err != nil {
 				return err
 			}
 			for _, idx := range viewInfo.Indexes {
 				if idx.KeyOnly {
 					continue
 				}
-				if err := client.Put(ctx, idx.Name, phoenix.IndexKey(viewInfo, idx, tg.row), markCell(dirtyOn)); err != nil {
+				if err := batch.PutQuiet(ctx, idx.Name, phoenix.IndexKey(viewInfo, idx, tg.row), markCell(value)); err != nil {
 					return err
 				}
 			}
 		}
+		return batch.Flush(ctx)
 	}
 
-	// Step 4: issue the updates.
+	// Step 3: mark rows (view + covered view-index copies; key-only
+	// maintenance indexes are never read by queries and need no marks).
+	if mark {
+		if err := markAll(dirtyOn); err != nil {
+			return err
+		}
+	}
+
+	// Step 4: issue the updates as one batch.
 	for ti := range targets {
 		tg := &targets[ti]
 		updated := tg.row.Clone()
 		for c, v := range parts.assign {
 			updated[c] = v
 		}
-		if err := client.Put(ctx, viewInfo.Name, tg.viewKey, putCells(parts.assign)); err != nil {
+		if err := batch.Put(ctx, viewInfo.Name, tg.viewKey, putCells(parts.assign)); err != nil {
 			return err
 		}
-		opts.Notify(viewInfo.Name, tg.viewKey)
 		for _, idx := range viewInfo.Indexes {
 			oldKey := phoenix.IndexKey(viewInfo, idx, tg.row)
 			newKey := phoenix.IndexKey(viewInfo, idx, updated)
 			if oldKey != newKey {
-				if err := client.DeleteAt(ctx, idx.Name, oldKey, opts.TS); err != nil {
+				if err := batch.DeleteQuiet(ctx, idx.Name, oldKey, opts.TS); err != nil {
 					return err
 				}
 				cells := putCells(phoenix.IndexRowContent(viewInfo, idx, updated))
 				if mark && !idx.KeyOnly {
 					cells = append(cells, hbase.Cell{Qualifier: phoenix.DirtyQualifier, Value: dirtyOn, TS: opts.TS})
 				}
-				if err := client.Put(ctx, idx.Name, newKey, cells); err != nil {
+				if err := batch.Put(ctx, idx.Name, newKey, cells); err != nil {
 					return err
 				}
-				opts.Notify(idx.Name, newKey)
 				continue
 			}
 			if !phoenix.IndexTouched(viewInfo, idx, parts.assign) {
 				continue
 			}
-			if err := client.Put(ctx, idx.Name, newKey, putCells(parts.assign)); err != nil {
+			if err := batch.Put(ctx, idx.Name, newKey, putCells(parts.assign)); err != nil {
 				return err
 			}
-			opts.Notify(idx.Name, newKey)
 		}
 		tg.row = updated
+	}
+	if err := batch.Flush(ctx); err != nil {
+		return err
 	}
 
 	// Step 5: un-mark.
 	if mark {
-		for _, tg := range targets {
-			if err := client.Put(ctx, viewInfo.Name, tg.viewKey, markCell(dirtyOff)); err != nil {
-				return err
-			}
-			for _, idx := range viewInfo.Indexes {
-				if idx.KeyOnly {
-					continue
-				}
-				if err := client.Put(ctx, idx.Name, phoenix.IndexKey(viewInfo, idx, tg.row), markCell(dirtyOff)); err != nil {
-					return err
-				}
-			}
+		if err := markAll(dirtyOff); err != nil {
+			return err
 		}
 	}
 	return nil
