@@ -18,6 +18,31 @@ type Client struct {
 	mu        sync.Mutex
 	connected bool
 	metaCache map[string]bool
+
+	// mutPool recycles Mutation buffers across BufferedMutator flushes —
+	// the write path's dominant per-statement allocation once batching
+	// amortized the RPCs.
+	mutPool sync.Pool
+}
+
+// getMutBuf returns an empty Mutation buffer, reusing a flushed one when
+// available.
+func (c *Client) getMutBuf() []Mutation {
+	if v := c.mutPool.Get(); v != nil {
+		return (*v.(*[]Mutation))[:0]
+	}
+	return make([]Mutation, 0, 16)
+}
+
+// putMutBuf recycles a Mutation buffer. MutateBatch copies mutations into
+// region groups before applying, so the buffer is dead once a flush
+// returns.
+func (c *Client) putMutBuf(buf []Mutation) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	c.mutPool.Put(&buf)
 }
 
 // NewClient returns a cold client running on the workload driver node.

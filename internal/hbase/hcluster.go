@@ -72,10 +72,11 @@ type HCluster struct {
 	servers []string
 	nextSrv int
 
-	ts      atomic.Int64 // logical timestamp oracle
-	zkSess  *zk.Session
-	walMu   sync.Mutex
-	walSeqs map[string]int64
+	ts       atomic.Int64 // logical timestamp oracle
+	zkSess   *zk.Session
+	walMu    sync.Mutex
+	walSeqs  map[string]int64
+	walSyncs atomic.Int64
 }
 
 // NewHCluster deploys HBase over the given physical cluster. fs and ens may
@@ -205,10 +206,16 @@ func (hc *HCluster) walAppendBatch(ctx *sim.Ctx, server string, editBytes, edits
 	}
 	ctx.Charge(hc.costs.WALAppend)
 	ctx.Charge(hc.costs.PerByte.Mul(editBytes * hc.fs.Replication()))
+	hc.walSyncs.Add(1)
 	hc.walMu.Lock()
 	hc.walSeqs[server] += int64(edits)
 	hc.walMu.Unlock()
 }
+
+// WALSyncs reports the total group-committed WAL syncs the cluster has
+// performed. Edits travelling in one batch share a sync; the transaction-
+// scoped write pipeline is measured by how few of these a transaction pays.
+func (hc *HCluster) WALSyncs() int64 { return hc.walSyncs.Load() }
 
 // WALEdits reports the number of WAL edits a server has logged (used by
 // tests to verify the durability path is exercised).

@@ -174,14 +174,27 @@ func (c *Client) applyGroup(ctx *sim.Ctx, g *regionGroup) {
 // what the batched-vs-sequential benchmarks and parity tests compare
 // against.
 //
+// Buffered mutations are additionally indexed into a read-your-writes
+// overlay (see ReadView): a transaction that owns the mutator reads its own
+// pending writes merged over the store, while nothing is visible to anyone
+// else until Flush. Discard drops the pending buffer without applying it —
+// the abort path of a transaction-scoped mutator.
+//
 // A BufferedMutator is not safe for concurrent use; like a Scanner it
 // belongs to one request.
 type BufferedMutator struct {
 	c *Client
-	// max triggers an auto-flush when the buffer reaches it.
+	// max triggers an auto-flush when the buffer reaches it; transaction-
+	// scoped mutators disable it so nothing persists before a barrier.
 	max        int
 	sequential bool
-	muts       []Mutation
+	// ryw maintains the read-your-writes overlay. Only transaction-scoped
+	// mutators pay for it — statement-scoped batches are flushed before
+	// anything reads, so indexing their mutations would be pure overhead.
+	ryw     bool
+	muts    []Mutation
+	overlay map[string]*overlayTable
+	seq     int64 // synthetic overlay timestamps for unstamped mutations
 }
 
 // NewBufferedMutator returns a mutator that auto-flushes at
@@ -193,6 +206,17 @@ func (c *Client) NewBufferedMutator(sequential bool) *BufferedMutator {
 		max = 1 << 30
 	}
 	return &BufferedMutator{c: c, max: max, sequential: sequential}
+}
+
+// NewTxMutator returns a transaction-scoped mutator: auto-flush is
+// disabled, so nothing reaches the store before an explicit Flush — a
+// protocol phase barrier or the transaction's commit — and Discard is a
+// true no-op abort. Flushing still splits oversized region groups at
+// Costs.MutateMaxBatch per RPC. There is deliberately no sequential
+// variant: eager writes would break every guarantee above (transactions
+// that want the eager path simply run without a transaction mutator).
+func (c *Client) NewTxMutator() *BufferedMutator {
+	return &BufferedMutator{c: c, max: 1 << 30, ryw: true}
 }
 
 // Sequential reports whether the mutator issues mutations eagerly.
@@ -219,9 +243,72 @@ func (m *BufferedMutator) Delete(ctx *sim.Ctx, tbl, key string, ts int64, qualif
 }
 
 func (m *BufferedMutator) add(ctx *sim.Ctx, mut Mutation) error {
+	if m.muts == nil {
+		m.muts = m.c.getMutBuf()
+	}
 	m.muts = append(m.muts, mut)
+	m.overlayApply(mut)
 	if len(m.muts) >= m.max {
 		return m.Flush(ctx)
+	}
+	return nil
+}
+
+// overlayApply indexes one buffered mutation into the read-your-writes
+// overlay. The buffered Mutation itself is left untouched (its zero
+// timestamps are stamped at flush time); the overlay applies copies carrying
+// either the mutation's explicit timestamp or a synthetic one above every
+// store timestamp, so the pending version wins the merge exactly as the
+// flushed version will.
+func (m *BufferedMutator) overlayApply(mut Mutation) {
+	if !m.ryw || m.sequential {
+		return // nobody reads through this buffer before it flushes
+	}
+	if m.overlay == nil {
+		m.overlay = make(map[string]*overlayTable)
+	}
+	ot := m.overlay[mut.Table]
+	if ot == nil {
+		ot = newOverlayTable()
+		m.overlay[mut.Table] = ot
+	}
+	rd := ot.upsert(mut.Key)
+	ts := mut.TS
+	if ts == 0 {
+		m.seq++
+		ts = overlayTSBase + m.seq
+	}
+	if mut.Delete {
+		if len(mut.Qualifiers) == 0 {
+			rd.apply(Cell{TS: ts, Type: TypeDeleteRow}, overlayKeep)
+			return
+		}
+		for _, q := range mut.Qualifiers {
+			rd.apply(Cell{Qualifier: q, TS: ts, Type: TypeDeleteCol}, overlayKeep)
+		}
+		return
+	}
+	for _, c := range mut.Cells {
+		if c.TS == 0 {
+			c.TS = ts
+		}
+		rd.apply(c, overlayKeep)
+	}
+}
+
+// pendingTable returns the overlay index for a table, or nil when nothing
+// is pending there.
+func (m *BufferedMutator) pendingTable(tbl string) *overlayTable {
+	if m.overlay == nil {
+		return nil
+	}
+	return m.overlay[tbl]
+}
+
+// pendingRow returns the pending cells of one row, or nil.
+func (m *BufferedMutator) pendingRow(tbl, key string) *rowData {
+	if ot := m.pendingTable(tbl); ot != nil {
+		return ot.rows[key]
 	}
 	return nil
 }
@@ -229,12 +316,29 @@ func (m *BufferedMutator) add(ctx *sim.Ctx, mut Mutation) error {
 // Flush ships every buffered mutation. A flush boundary is also an ordering
 // barrier: everything buffered before it is applied before anything added
 // after, which is what the dirty-mark / update / un-mark phases of the
-// Synergy write protocol rely on.
+// Synergy write protocol rely on. Once flushed, the overlay empties — the
+// writes are in the store and plain reads see them.
 func (m *BufferedMutator) Flush(ctx *sim.Ctx) error {
 	if len(m.muts) == 0 {
 		return nil
 	}
 	muts := m.muts
 	m.muts = nil
-	return m.c.MutateBatch(ctx, muts)
+	m.overlay = nil
+	err := m.c.MutateBatch(ctx, muts)
+	m.c.putMutBuf(muts)
+	return err
+}
+
+// Discard drops every buffered mutation (and the overlay) without applying
+// anything — the abort path of a transaction-scoped mutator. Mutations
+// already flushed (phase barriers, auto-flush) are durable and are not
+// undone here; transaction layers handle their visibility (MVCC
+// invalidation, dirty-mark cleanup).
+func (m *BufferedMutator) Discard() {
+	if m.muts != nil {
+		m.c.putMutBuf(m.muts)
+		m.muts = nil
+	}
+	m.overlay = nil
 }

@@ -1,0 +1,277 @@
+package hbase
+
+import (
+	"sort"
+
+	"synergy/internal/sim"
+)
+
+// RowStream is the minimal streaming-read contract shared by a plain
+// Scanner and the overlay-merging scanner a ReadView returns. A fully
+// drained stream needs no Close; abandoning one early must Close it so
+// in-flight scatter-gather work is stopped and charged.
+type RowStream interface {
+	Next(ctx *sim.Ctx) (RowResult, bool)
+	Close(ctx *sim.Ctx)
+}
+
+// Reader serves point gets and scans: either a Client (store reads) or a
+// ReadView (transaction reads that merge a BufferedMutator's pending
+// mutations over the store). The SQL layer reads through this interface so
+// the read-before-write of a transaction sees the transaction's own
+// buffered writes.
+type Reader interface {
+	Get(ctx *sim.Ctx, tbl, key string, opts ReadOpts) (RowResult, error)
+	OpenScan(ctx *sim.Ctx, tbl string, spec ScanSpec) (RowStream, error)
+}
+
+// OpenScan adapts Scan to the Reader interface.
+func (c *Client) OpenScan(ctx *sim.Ctx, tbl string, spec ScanSpec) (RowStream, error) {
+	return c.Scan(ctx, tbl, spec)
+}
+
+// overlayTSBase lifts the synthetic timestamps of unstamped (TS == 0)
+// buffered mutations above any store timestamp, so pending writes win the
+// version merge the same way they will after the flush stamps them with
+// fresh server timestamps. Explicitly stamped mutations (MVCC transactions
+// write at their transaction id) keep their own timestamps.
+const overlayTSBase = int64(1) << 60
+
+// overlayKeep retains every pending version in the overlay; visibility is
+// decided at read time, never by version trimming.
+const overlayKeep = 1 << 30
+
+// overlayTable indexes one table's pending mutations by row key, in the
+// same (key -> sorted cells) shape as a region memstore.
+type overlayTable struct {
+	rows   map[string]*rowData
+	keys   []string
+	sorted bool
+}
+
+func newOverlayTable() *overlayTable {
+	return &overlayTable{rows: make(map[string]*rowData)}
+}
+
+func (o *overlayTable) upsert(key string) *rowData {
+	rd := o.rows[key]
+	if rd == nil {
+		rd = &rowData{}
+		o.rows[key] = rd
+		o.keys = append(o.keys, key)
+		o.sorted = false
+	}
+	return rd
+}
+
+func (o *overlayTable) sortedKeys() []string {
+	if !o.sorted {
+		sort.Strings(o.keys)
+		o.sorted = true
+	}
+	return o.keys
+}
+
+// keysInRange returns the pending keys in [start, stop); stop == "" is
+// unbounded.
+func (o *overlayTable) keysInRange(start, stop string) []string {
+	keys := o.sortedKeys()
+	lo := sort.SearchStrings(keys, start)
+	hi := len(keys)
+	if stop != "" {
+		hi = sort.SearchStrings(keys, stop)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return keys[lo:hi]
+}
+
+// rowTombstoned reports whether the pending cells carry a visible row-wide
+// tombstone, which masks the entire store row: such reads are served from
+// the buffer alone, with no store RPC.
+func rowTombstoned(rd *rowData, opts ReadOpts) bool {
+	for _, c := range rd.cells {
+		if c.Qualifier != "" {
+			return false
+		}
+		if c.Type == TypeDeleteRow && opts.visible(c.TS) {
+			return true
+		}
+	}
+	return false
+}
+
+// overlayRow merges pending cells over the store-visible cells of one row.
+// Store cells are re-injected at timestamp 0 — they already passed the
+// store-side visibility filter, and every pending cell (synthetic or
+// transaction-stamped) sorts at or above them — so the standard rowData
+// version merge resolves precedence: pending row tombstones hide the store
+// row, pending column tombstones hide their qualifier, pending puts win.
+func overlayRow(key string, pending *rowData, base map[string][]byte, opts ReadOpts) RowResult {
+	if len(base) == 0 {
+		return RowResult{Key: key, Cells: pending.read(opts)}
+	}
+	quals := make([]string, 0, len(base))
+	for q := range base {
+		quals = append(quals, q)
+	}
+	sort.Strings(quals)
+	bcells := make([]Cell, len(quals))
+	for i, q := range quals {
+		bcells[i] = Cell{Qualifier: q, Value: base[q]}
+	}
+	return RowResult{Key: key, Cells: merged(pending, &rowData{cells: bcells}).read(opts)}
+}
+
+// ReadView is the read-your-writes view of a transaction: point gets and
+// scans merge the mutator's pending (buffered, unflushed) mutations over
+// store reads in key order, so a transaction observes its own uncommitted
+// writes while concurrent requests — which read through their own clients —
+// never do. Once the mutator flushes (phase barrier or commit), the overlay
+// empties and the view degenerates to plain store reads.
+//
+// Like the mutator it wraps, a ReadView belongs to one request and is not
+// safe for concurrent use.
+type ReadView struct {
+	m *BufferedMutator
+}
+
+// View returns the mutator's read-your-writes view.
+func (m *BufferedMutator) View() *ReadView { return &ReadView{m: m} }
+
+// Get reads one row, merging pending mutations over the store row. A
+// pending row-wide tombstone short-circuits: the buffer masks the store
+// entirely and no store RPC is paid.
+func (v *ReadView) Get(ctx *sim.Ctx, tbl, key string, opts ReadOpts) (RowResult, error) {
+	pending := v.m.pendingRow(tbl, key)
+	if pending == nil {
+		return v.m.c.Get(ctx, tbl, key, opts)
+	}
+	if rowTombstoned(pending, opts) {
+		return RowResult{Key: key, Cells: pending.read(opts)}, nil
+	}
+	base, err := v.m.c.Get(ctx, tbl, key, opts)
+	if err != nil {
+		return RowResult{}, err
+	}
+	return overlayRow(key, pending, base.Cells, opts), nil
+}
+
+// OpenScan opens a key-ordered scan that folds the pending rows for the
+// table into the store stream. Tables with no pending mutations in range
+// pass straight through to the store scanner; otherwise the server-side
+// filter and limit move client-side (the filter must see merged rows), with
+// the store limit padded by the pending-key count so pending deletes can
+// never starve a bounded scan.
+func (v *ReadView) OpenScan(ctx *sim.Ctx, tbl string, spec ScanSpec) (RowStream, error) {
+	ot := v.m.pendingTable(tbl)
+	var keys []string
+	if ot != nil {
+		start, stop := spec.bounds()
+		keys = ot.keysInRange(start, stop)
+	}
+	if len(keys) == 0 {
+		return v.m.c.Scan(ctx, tbl, spec)
+	}
+	inner := spec
+	inner.Filter = nil
+	if spec.Limit > 0 {
+		if spec.Filter != nil {
+			// The store cannot know which rows the merged-row filter will
+			// keep; scan unbounded and trim client-side.
+			inner.Limit = 0
+		} else {
+			// Each pending key can hide at most one store row, so Limit +
+			// pending suffices to produce Limit merged rows (or exhaust).
+			inner.Limit = spec.Limit + len(keys)
+		}
+	}
+	sc, err := v.m.c.Scan(ctx, tbl, inner)
+	if err != nil {
+		return nil, err
+	}
+	return &overlayScanner{store: sc, spec: spec, ot: ot, keys: keys}, nil
+}
+
+// overlayScanner merges one table's pending rows into the store stream in
+// key order, applying the original spec's filter and limit to the merged
+// rows.
+type overlayScanner struct {
+	store *Scanner
+	spec  ScanSpec
+	ot    *overlayTable
+	keys  []string
+	ki    int
+
+	srow  RowResult
+	shave bool // srow holds an unconsumed store row
+	sdone bool
+	sent  int
+	done  bool
+}
+
+// Next returns the next merged row. ok is false when the scan is exhausted.
+func (s *overlayScanner) Next(ctx *sim.Ctx) (RowResult, bool) {
+	if s.done {
+		return RowResult{}, false
+	}
+	for {
+		row, ok := s.step(ctx)
+		if !ok {
+			s.done = true
+			return RowResult{}, false
+		}
+		if s.spec.Filter != nil && !s.spec.Filter(row) {
+			continue
+		}
+		s.sent++
+		if s.spec.Limit > 0 && s.sent >= s.spec.Limit {
+			s.done = true
+			s.store.Close(ctx)
+		}
+		return row, true
+	}
+}
+
+// step yields the next merged row before filter/limit are applied.
+func (s *overlayScanner) step(ctx *sim.Ctx) (RowResult, bool) {
+	for {
+		if !s.shave && !s.sdone {
+			if r, ok := s.store.Next(ctx); ok {
+				s.srow, s.shave = r, true
+			} else {
+				s.sdone = true
+			}
+		}
+		if s.ki < len(s.keys) && (!s.shave || s.keys[s.ki] <= s.srow.Key) {
+			key := s.keys[s.ki]
+			s.ki++
+			var base map[string][]byte
+			if s.shave && s.srow.Key == key {
+				base = s.srow.Cells
+				s.shave = false
+			}
+			res := overlayRow(key, s.ot.rows[key], base, s.spec.Read)
+			if len(res.Cells) == 0 {
+				continue // pending delete (or invisible pending row)
+			}
+			return res, true
+		}
+		if s.shave {
+			s.shave = false
+			return s.srow, true
+		}
+		if s.sdone {
+			return RowResult{}, false
+		}
+	}
+}
+
+// Close releases an unfinished merged scan.
+func (s *overlayScanner) Close(ctx *sim.Ctx) {
+	if !s.done {
+		s.store.Close(ctx)
+		s.done = true
+	}
+}

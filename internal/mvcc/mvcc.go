@@ -37,9 +37,15 @@ type commitRecord struct {
 // transaction layer).
 type Server struct {
 	costs *sim.Costs
+	// next allocates transaction ids / commit timestamps. Deployments over
+	// an HBase cluster share the store's timestamp oracle (as Tephra's
+	// transaction manager does), so snapshot ids order consistently against
+	// bulk-loaded and non-transactional cell timestamps; standalone servers
+	// fall back to a private counter.
+	next func() int64
 
 	mu        sync.Mutex
-	nextID    int64
+	last      int64 // highest id allocated, for GC horizon
 	active    map[int64]struct{}
 	invalid   map[int64]struct{}
 	committed []commitRecord
@@ -47,22 +53,49 @@ type Server struct {
 	begun, commits, aborts, conflicts int64
 }
 
-// NewServer creates a transaction server with the given latency calibration.
+// NewServer creates a standalone transaction server with the given latency
+// calibration, allocating ids from a private counter.
 func NewServer(costs *sim.Costs) *Server {
+	var ctr int64
+	return NewServerWithOracle(costs, func() int64 { ctr++; return ctr })
+}
+
+// NewServerWithOracle creates a transaction server whose ids come from the
+// given timestamp oracle — deployments pass the store's clock so snapshot
+// visibility lines up with every cell timestamp in the cluster.
+func NewServerWithOracle(costs *sim.Costs, next func() int64) *Server {
 	if costs == nil {
 		costs = sim.DefaultCosts()
 	}
 	return &Server{
 		costs:   costs,
+		next:    next,
 		active:  map[int64]struct{}{},
 		invalid: map[int64]struct{}{},
 	}
 }
 
-// Tx is one in-flight transaction.
+// allocLocked draws the next id from the oracle. Caller holds s.mu.
+func (s *Server) allocLocked() int64 {
+	id := s.next()
+	if id > s.last {
+		s.last = id
+	}
+	return id
+}
+
+// Tx is one in-flight transaction. A transaction holds one snapshot (taken
+// at Begin) and one or more write pointers: Checkpoint — Tephra's
+// mechanism for multi-statement transactions — allocates a fresh pointer
+// per statement, so a statement's tombstones sort strictly below a later
+// statement's puts on the same row instead of shadowing them at an equal
+// timestamp. All of a transaction's pointers are visible to its own reads
+// and invisible to everyone else until commit.
 type Tx struct {
 	srv      *Server
-	id       int64
+	id       int64              // snapshot id (first write pointer)
+	cur      int64              // current statement's write pointer
+	stamps   map[int64]struct{} // every write pointer of this transaction
 	excluded map[int64]struct{} // active at begin
 	writes   map[string]struct{}
 	done     bool
@@ -73,31 +106,57 @@ func (s *Server) Begin(ctx *sim.Ctx) *Tx {
 	ctx.Charge(s.costs.MVCCBegin)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextID++
 	s.begun++
-	id := s.nextID
+	id := s.allocLocked()
 	excl := make(map[int64]struct{}, len(s.active))
 	for a := range s.active {
 		excl[a] = struct{}{}
 	}
 	s.active[id] = struct{}{}
-	return &Tx{srv: s, id: id, excluded: excl, writes: map[string]struct{}{}}
+	return &Tx{
+		srv: s, id: id, cur: id,
+		stamps:   map[int64]struct{}{id: {}},
+		excluded: excl,
+		writes:   map[string]struct{}{},
+	}
 }
 
-// ID returns the transaction id, which doubles as its write timestamp.
-func (t *Tx) ID() int64 { return t.id }
+// Checkpoint allocates a fresh write pointer for the transaction's next
+// statement (a Tephra checkpoint: one transaction-manager round trip). The
+// previous pointers stay registered — and excluded from every other
+// snapshot — until the transaction finishes.
+func (t *Tx) Checkpoint(ctx *sim.Ctx) {
+	s := t.srv
+	ctx.Charge(s.costs.RPC)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.allocLocked()
+	s.active[id] = struct{}{}
+	t.stamps[id] = struct{}{}
+	t.cur = id
+}
+
+// ID returns the transaction's current write pointer — the timestamp its
+// next statement writes at.
+func (t *Tx) ID() int64 { return t.cur }
 
 // ReadOpts returns the snapshot visibility filter for this transaction's
-// reads.
+// reads: everything committed at or before the Begin snapshot, plus the
+// transaction's own write pointers, minus in-progress and invalidated
+// transactions.
 func (t *Tx) ReadOpts() hbase.ReadOpts {
 	srv := t.srv
 	id := t.id
+	stamps := t.stamps
 	excluded := t.excluded
 	return hbase.ReadOpts{
-		ReadTS: id,
+		ReadTS: t.cur,
 		Excluded: func(ts int64) bool {
-			if ts == id {
+			if _, own := stamps[ts]; own {
 				return false // own writes are visible
+			}
+			if ts > id {
+				return true // past our snapshot
 			}
 			if _, inProgress := excluded[ts]; inProgress {
 				return true
@@ -135,7 +194,9 @@ func (s *Server) Commit(ctx *sim.Ctx, t *Tx) error {
 		return ErrFinished
 	}
 	t.done = true
-	delete(s.active, t.id)
+	for id := range t.stamps {
+		delete(s.active, id)
+	}
 
 	if len(t.writes) > 0 {
 		for _, rec := range s.committed {
@@ -144,15 +205,16 @@ func (s *Server) Commit(ctx *sim.Ctx, t *Tx) error {
 			}
 			for w := range t.writes {
 				if _, clash := rec.writes[w]; clash {
-					s.invalid[t.id] = struct{}{}
+					for id := range t.stamps {
+						s.invalid[id] = struct{}{}
+					}
 					s.aborts++
 					s.conflicts++
 					return fmt.Errorf("%w: tx %d overlaps tx %d on %q", ErrConflict, t.id, rec.txid, w)
 				}
 			}
 		}
-		s.nextID++
-		s.committed = append(s.committed, commitRecord{txid: t.id, commitTS: s.nextID, writes: t.writes})
+		s.committed = append(s.committed, commitRecord{txid: t.id, commitTS: s.allocLocked(), writes: t.writes})
 		s.gcLocked()
 	}
 	s.commits++
@@ -169,9 +231,11 @@ func (s *Server) Abort(ctx *sim.Ctx, t *Tx) {
 		return
 	}
 	t.done = true
-	delete(s.active, t.id)
-	if len(t.writes) > 0 {
-		s.invalid[t.id] = struct{}{}
+	for id := range t.stamps {
+		delete(s.active, id)
+		if len(t.writes) > 0 {
+			s.invalid[id] = struct{}{}
+		}
 	}
 	s.aborts++
 }
@@ -179,7 +243,7 @@ func (s *Server) Abort(ctx *sim.Ctx, t *Tx) {
 // gcLocked prunes committed records no active transaction can conflict
 // with. Caller holds s.mu.
 func (s *Server) gcLocked() {
-	minActive := s.nextID + 1
+	minActive := s.last + 1
 	for a := range s.active {
 		if a < minActive {
 			minActive = a

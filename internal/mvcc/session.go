@@ -1,6 +1,9 @@
 package mvcc
 
 import (
+	"errors"
+
+	"synergy/internal/hbase"
 	"synergy/internal/phoenix"
 	"synergy/internal/schema"
 	"synergy/internal/sim"
@@ -54,4 +57,87 @@ func (s *Session) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.V
 		return err
 	}
 	return s.srv.Commit(ctx, tx)
+}
+
+// SessionTx is one multi-statement snapshot transaction with read-your-
+// writes: every write statement buffers into a transaction-scoped mutator
+// instead of flushing per statement, queries and the read-before-write of
+// UPDATE/DELETE merge the pending buffer over the snapshot through the
+// overlay, Commit flushes once and then runs conflict detection, and Abort
+// discards the buffer with nothing persisted.
+type SessionTx struct {
+	sess *Session
+	tx   *Tx
+	mut  *hbase.BufferedMutator
+	used bool // a statement has run (next one checkpoints first)
+	done bool
+}
+
+// BeginTxn opens a multi-statement transaction on the session.
+func (s *Session) BeginTxn(ctx *sim.Ctx) *SessionTx {
+	tx := s.srv.Begin(ctx)
+	return &SessionTx{sess: s, tx: tx, mut: s.eng.Client().NewTxMutator()}
+}
+
+// ErrFinishedTxn reports use of a session transaction after Commit/Abort.
+var ErrFinishedTxn = errors.New("mvcc: session transaction already finished")
+
+// writeOpts returns the per-statement options carrying the transaction's
+// snapshot, write-set recorder and shared mutator.
+func (t *SessionTx) writeOpts() phoenix.WriteOpts {
+	return phoenix.WriteOpts{
+		TS:      t.tx.ID(),
+		Read:    t.tx.ReadOpts(),
+		OnWrite: t.tx.RecordWrite,
+		Mutator: t.mut,
+	}
+}
+
+// Exec buffers one write statement into the transaction. Each statement
+// after the first runs at a fresh checkpoint (write pointer), so a
+// statement's deletes never shadow a later statement's puts on the same
+// row at an equal timestamp.
+func (t *SessionTx) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	if t.done {
+		return ErrFinishedTxn
+	}
+	if t.used {
+		t.tx.Checkpoint(ctx)
+	}
+	t.used = true
+	return t.sess.eng.Exec(ctx, stmt, params, t.writeOpts())
+}
+
+// Query runs a SELECT inside the transaction; scans and point lookups see
+// the transaction's own buffered writes merged over its snapshot.
+func (t *SessionTx) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (*phoenix.ResultSet, error) {
+	if t.done {
+		return nil, ErrFinishedTxn
+	}
+	return t.sess.eng.QueryOpts(ctx, sel, params, phoenix.QueryOpts{Read: t.tx.ReadOpts(), View: t.mut.View()})
+}
+
+// Commit flushes the buffered writes as one batch round, then finishes the
+// transaction (conflict detection included).
+func (t *SessionTx) Commit(ctx *sim.Ctx) error {
+	if t.done {
+		return ErrFinishedTxn
+	}
+	t.done = true
+	if err := t.mut.Flush(ctx); err != nil {
+		t.sess.srv.Abort(ctx, t.tx)
+		return err
+	}
+	return t.sess.srv.Commit(ctx, t.tx)
+}
+
+// Abort discards the buffered writes — nothing reaches the store — and
+// invalidates the transaction.
+func (t *SessionTx) Abort(ctx *sim.Ctx) {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.mut.Discard()
+	t.sess.srv.Abort(ctx, t.tx)
 }

@@ -24,6 +24,15 @@ type WriteOpts struct {
 	// batching them per statement — the pre-pipeline write path, kept for
 	// batched-vs-sequential parity tests and benchmarks.
 	Sequential bool
+	// Mutator, when set, is the transaction-scoped BufferedMutator every
+	// statement of the transaction emits into: mutations buffer across
+	// statements and persist only at the transaction's commit flush (or at
+	// explicit protocol phase barriers), and the read-before-write of
+	// UPDATE/DELETE consults the mutator's read-your-writes overlay, so a
+	// statement sees rows earlier statements wrote but have not yet
+	// flushed. Flush/Discard lifecycle belongs to the transaction owner,
+	// not to the statement.
+	Mutator *hbase.BufferedMutator
 }
 
 func (o WriteOpts) Notify(table, key string) {
@@ -161,19 +170,39 @@ func StampCells(cells []hbase.Cell, ts int64) []hbase.Cell {
 // the Synergy maintenance protocol): mutations accumulate in a
 // BufferedMutator and ship as one round of region-grouped batch RPCs,
 // instead of one RPC per mutation. Write-set notifications are recorded in
-// emission order and fire only after the flush succeeds; the Quiet variants
-// skip notification (dirty marks and index-key cleanup are not part of the
-// MVCC write set).
+// emission order and fire only after the statement's emission completes
+// (for an owned batch, after its flush lands); the Quiet variants skip
+// notification (dirty marks and index-key cleanup are not part of the MVCC
+// write set).
+//
+// A batch either owns a statement-scoped mutator (flushed by Flush at
+// statement end, the PR-2 pipeline) or borrows the transaction-scoped
+// mutator from WriteOpts.Mutator, in which case Flush leaves the mutations
+// buffered for the transaction's commit and only Barrier forces them out.
 type WriteBatch struct {
 	m        *hbase.BufferedMutator
+	owned    bool
 	opts     WriteOpts
 	notifies []struct{ table, key string }
 }
 
-// NewWriteBatch opens a batch honoring opts' Sequential and OnWrite
-// settings.
+// NewWriteBatch opens a batch honoring opts' Mutator, Sequential and
+// OnWrite settings.
 func (e *Engine) NewWriteBatch(opts WriteOpts) *WriteBatch {
-	return &WriteBatch{m: e.client.NewBufferedMutator(opts.Sequential), opts: opts}
+	if opts.Mutator != nil {
+		return &WriteBatch{m: opts.Mutator, opts: opts}
+	}
+	return &WriteBatch{m: e.client.NewBufferedMutator(opts.Sequential), owned: true, opts: opts}
+}
+
+// Reader returns the read side of a write: the transaction's overlay view
+// when a transaction-scoped mutator is present, the plain store client
+// otherwise. Reads through it see the transaction's own buffered writes.
+func (e *Engine) Reader(opts WriteOpts) hbase.Reader {
+	if opts.Mutator != nil {
+		return opts.Mutator.View()
+	}
+	return e.client
 }
 
 // Put buffers a row put and records its write-set notification.
@@ -204,16 +233,36 @@ func (b *WriteBatch) DeleteQuiet(ctx *sim.Ctx, tbl, key string, ts int64) error 
 	return b.m.Delete(ctx, tbl, key, ts)
 }
 
-// Flush ships the buffered mutations and emits the pending notifications.
+// Flush ends the statement's emission: an owned batch ships its mutations,
+// a transaction-scoped batch leaves them buffered for the transaction's
+// commit flush. Pending notifications fire either way — the write set must
+// be recorded before the transaction's commit-time conflict check.
 func (b *WriteBatch) Flush(ctx *sim.Ctx) error {
+	if b.owned {
+		return b.Barrier(ctx)
+	}
+	b.notify()
+	return nil
+}
+
+// Barrier forces the buffered mutations out regardless of ownership — the
+// ordering barrier between phases of the Synergy §VIII-B maintenance
+// protocol. On a transaction-scoped mutator it flushes everything buffered
+// so far, including earlier statements of the transaction, which preserves
+// buffer order across the barrier.
+func (b *WriteBatch) Barrier(ctx *sim.Ctx) error {
 	if err := b.m.Flush(ctx); err != nil {
 		return err
 	}
+	b.notify()
+	return nil
+}
+
+func (b *WriteBatch) notify() {
 	for _, n := range b.notifies {
 		b.opts.Notify(n.table, n.key)
 	}
 	b.notifies = b.notifies[:0]
-	return nil
 }
 
 // PutRow writes one full row to a table and all of its indexes (Phoenix
@@ -245,12 +294,18 @@ func (e *Engine) putRowInto(ctx *sim.Ctx, b *WriteBatch, t *TableInfo, row schem
 	return nil
 }
 
-// GetRow reads one row by primary key values.
+// GetRow reads one row by primary key values from the store.
 func (e *Engine) GetRow(ctx *sim.Ctx, t *TableInfo, read hbase.ReadOpts, keyVals ...schema.Value) (schema.Row, bool, error) {
+	return e.GetRowVia(ctx, e.client, t, read, keyVals...)
+}
+
+// GetRowVia reads one row by primary key values through an explicit reader
+// — the store client, or a transaction's read-your-writes view.
+func (e *Engine) GetRowVia(ctx *sim.Ctx, r hbase.Reader, t *TableInfo, read hbase.ReadOpts, keyVals ...schema.Value) (schema.Row, bool, error) {
 	if len(keyVals) != len(t.Key) {
 		return nil, false, fmt.Errorf("%w: %s wants %d key values, got %d", ErrKeyNotSpecified, t.Name, len(t.Key), len(keyVals))
 	}
-	res, err := e.client.Get(ctx, t.Name, schema.EncodeKey(keyVals...), read)
+	res, err := r.Get(ctx, t.Name, schema.EncodeKey(keyVals...), read)
 	if err != nil {
 		return nil, false, err
 	}
@@ -291,11 +346,12 @@ func (e *Engine) execUpdate(ctx *sim.Ctx, s *sqlparser.UpdateStmt, params []sche
 }
 
 // UpdateRow applies assignments to one row identified by key values,
-// maintaining indexes. The read-before-write stays eager (it feeds index
-// key computation); the base put and every index delete/put flush as one
-// batch.
+// maintaining indexes. The read-before-write (it feeds index key
+// computation) goes through the transaction overlay when one is present, so
+// an update inside a transaction sees the transaction's own buffered
+// writes; the base put and every index delete/put emit into one batch.
 func (e *Engine) UpdateRow(ctx *sim.Ctx, t *TableInfo, keyVals []schema.Value, assign schema.Row, opts WriteOpts) error {
-	old, found, err := e.GetRow(ctx, t, opts.Read, keyVals...)
+	old, found, err := e.GetRowVia(ctx, e.Reader(opts), t, opts.Read, keyVals...)
 	if err != nil {
 		return err
 	}
@@ -356,9 +412,10 @@ func (e *Engine) execDelete(ctx *sim.Ctx, s *sqlparser.DeleteStmt, params []sche
 }
 
 // DeleteRow removes one row by key values, cleaning up index entries. The
-// base tombstone and every index tombstone flush as one batch.
+// read-before-write consults the transaction overlay when one is present;
+// the base tombstone and every index tombstone emit into one batch.
 func (e *Engine) DeleteRow(ctx *sim.Ctx, t *TableInfo, keyVals []schema.Value, opts WriteOpts) error {
-	old, found, err := e.GetRow(ctx, t, opts.Read, keyVals...)
+	old, found, err := e.GetRowVia(ctx, e.Reader(opts), t, opts.Read, keyVals...)
 	if err != nil {
 		return err
 	}

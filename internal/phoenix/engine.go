@@ -48,6 +48,10 @@ type QueryOpts struct {
 	DirtyCheck bool
 	// MaxRestarts bounds dirty-read restarts (0 = default 50).
 	MaxRestarts int
+	// View, when set, overlays a transaction's buffered writes on every
+	// scan and point lookup, so queries inside a multi-statement
+	// transaction read their own uncommitted rows.
+	View *hbase.ReadView
 }
 
 // ResultSet is the client-visible output of a query.

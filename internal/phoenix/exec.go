@@ -105,6 +105,16 @@ func (q *query) localEqValue(b *binding, col string) (schema.Value, bool) {
 	return nil, false
 }
 
+// openScan opens a binding scan through the query's reader: the
+// transaction overlay view when one is set (read-your-writes), the plain
+// store client otherwise.
+func (q *query) openScan(ctx *sim.Ctx, tbl string, spec hbase.ScanSpec) (hbase.RowStream, error) {
+	if q.opts.View != nil {
+		return q.opts.View.OpenScan(ctx, tbl, spec)
+	}
+	return q.eng.client.Scan(ctx, tbl, spec)
+}
+
 // scanBinding fetches a binding's rows via its access plan, applying all
 // local predicates (pushed down server-side) and converting to tuples.
 func (q *query) scanBinding(ctx *sim.Ctx, b *binding, plan accessPlan) ([]tuple, error) {
@@ -186,7 +196,7 @@ func (q *query) scanBinding(ctx *sim.Ctx, b *binding, plan accessPlan) ([]tuple,
 		maxRestarts = 50
 	}
 	for attempt := 0; ; attempt++ {
-		sc, err := q.eng.client.Scan(ctx, tableName, spec)
+		sc, err := q.openScan(ctx, tableName, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -458,7 +468,7 @@ func (q *query) indexNestedLoop(ctx *sim.Ctx, outer []tuple, b *binding, plan ac
 			}
 			return true
 		}
-		sc, err := q.eng.client.Scan(ctx, tableName, spec)
+		sc, err := q.openScan(ctx, tableName, spec)
 		if err != nil {
 			return nil, err
 		}

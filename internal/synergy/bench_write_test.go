@@ -9,24 +9,32 @@ import (
 	"synergy/internal/sqlparser"
 )
 
+// benchModes are the three write pipelines: eager per-mutation RPCs
+// (paper-faithful), one batch per statement (PR-2), and the transaction-
+// scoped mutator flushed at commit/phase barriers (default).
+var benchModes = []struct {
+	name string
+	cfg  Config
+}{
+	{"sequential", Config{SequentialWrites: true}},
+	{"batched", Config{StatementFlush: true}},
+	{"txn", Config{}},
+}
+
 // BenchmarkMaintenanceWrite measures the maintenance-heavy write path: one
 // UPDATE on the root relation fans out to `views` multi-row view
 // maintenances (locate + mark + update + un-mark over 16 view rows each),
-// batched pipeline vs the sequential per-mutation baseline. Reported
-// sim-ms/op is the simulated statement response time; batched must sit
-// strictly below sequential from 4 views up (the acceptance criterion is
-// also pinned by TestBatchedWriteSimulatedSpeedup).
+// across the three pipeline modes. Reported sim-ms/op is the simulated
+// statement response time; batched must sit strictly below sequential from
+// 4 views up, txn at or below batched (the acceptance criteria are pinned
+// by TestBatchedWriteSimulatedSpeedup and
+// TestTxnScopedWriteBatchesAcrossStatements). allocs/op shows the Mutation
+// buffer pooling delta on the batched paths.
 func BenchmarkMaintenanceWrite(b *testing.B) {
 	for _, views := range []int{1, 4, 16} {
-		for _, mode := range []struct {
-			name       string
-			sequential bool
-		}{
-			{"sequential", true},
-			{"batched", false},
-		} {
+		for _, mode := range benchModes {
 			b.Run(fmt.Sprintf("views=%d/%s", views, mode.name), func(b *testing.B) {
-				sys := fanoutSystem(b, views, 16, Config{SequentialWrites: mode.sequential})
+				sys := fanoutSystem(b, views, 16, mode.cfg)
 				up := sqlparser.MustParse("UPDATE Root SET RVal = ? WHERE RID = ?")
 				b.ReportAllocs()
 				var total sim.Micros
@@ -44,19 +52,40 @@ func BenchmarkMaintenanceWrite(b *testing.B) {
 	}
 }
 
-// BenchmarkInsertWithViews measures view-tuple construction on insert (one
-// parent read + view put + index puts per applicable view), batched vs
-// sequential. Keys rotate so every iteration inserts a fresh row.
-func BenchmarkInsertWithViews(b *testing.B) {
-	for _, mode := range []struct {
-		name       string
-		sequential bool
-	}{
-		{"sequential", true},
-		{"batched", false},
-	} {
+// BenchmarkTxnWrite measures a multi-statement TPC-W-like write
+// transaction (repeated leaf inserts, a read-your-writes update, a delete)
+// across the three pipelines. The transaction-scoped mutator pays one
+// commit flush instead of a batch round per statement; sim-ms/op is the
+// simulated transaction response time.
+func BenchmarkTxnWrite(b *testing.B) {
+	for _, mode := range benchModes {
 		b.Run(mode.name, func(b *testing.B) {
-			sys := fanoutSystem(b, 4, 16, Config{SequentialWrites: mode.sequential})
+			sys := fanoutSystem(b, 4, 16, mode.cfg)
+			// Inserts are upserts, so re-running the transaction reaches a
+			// steady state after the first iteration.
+			stmts, params := txnWorkload(4)
+			b.ReportAllocs()
+			var total sim.Micros
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := sim.NewCtx()
+				if err := sys.ExecTxn(ctx, stmts, params); err != nil {
+					b.Fatal(err)
+				}
+				total += ctx.Elapsed()
+			}
+			b.ReportMetric(total.Milliseconds()/float64(b.N), "sim-ms/op")
+		})
+	}
+}
+
+// BenchmarkInsertWithViews measures view-tuple construction on insert (one
+// parent read + view put + index puts per applicable view) across the
+// three pipelines. Keys rotate so every iteration inserts a fresh row.
+func BenchmarkInsertWithViews(b *testing.B) {
+	for _, mode := range benchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := fanoutSystem(b, 4, 16, mode.cfg)
 			ins := sqlparser.MustParse("INSERT INTO Leaf00 (Leaf00ID, Leaf00_RID, Leaf00Val) VALUES (?, ?, ?)")
 			b.ReportAllocs()
 			var total sim.Micros
@@ -75,18 +104,13 @@ func BenchmarkInsertWithViews(b *testing.B) {
 }
 
 // BenchmarkDeleteWithViews measures view-tuple teardown on delete (base
-// tombstone + index tombstones + view and view-index tombstones), batched
-// vs sequential. Each iteration inserts (untimed) then deletes (timed).
+// tombstone + index tombstones + view and view-index tombstones) across
+// the three pipelines. Each iteration inserts (untimed) then deletes
+// (timed).
 func BenchmarkDeleteWithViews(b *testing.B) {
-	for _, mode := range []struct {
-		name       string
-		sequential bool
-	}{
-		{"sequential", true},
-		{"batched", false},
-	} {
+	for _, mode := range benchModes {
 		b.Run(mode.name, func(b *testing.B) {
-			sys := fanoutSystem(b, 4, 16, Config{SequentialWrites: mode.sequential})
+			sys := fanoutSystem(b, 4, 16, mode.cfg)
 			ins := sqlparser.MustParse("INSERT INTO Leaf00 (Leaf00ID, Leaf00_RID, Leaf00Val) VALUES (?, ?, ?)")
 			del := sqlparser.MustParse("DELETE FROM Leaf00 WHERE Leaf00ID = ?")
 			b.ReportAllocs()

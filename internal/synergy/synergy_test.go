@@ -323,7 +323,7 @@ func TestRootKeyResolution(t *testing.T) {
 		t.Fatal(err)
 	}
 	row := schema.Row{"WO_EID": int64(3), "WO_PNo": int64(1), "Hours": int64(1)}
-	key, err := sys.resolveRootKey(sim.NewCtx(), plan, row)
+	key, err := sys.resolveRootKey(sim.NewCtx(), sys.Engine.Client(), plan, row)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,8 +65,13 @@ type Config struct {
 	// SequentialWrites disables the batched mutation pipeline: every
 	// mutation of the write path pays its own RPC, as the pre-batching
 	// client did. Kept for batched-vs-sequential parity tests and
-	// benchmarks.
+	// benchmarks (and the figure harness, matching the paper's testbed).
 	SequentialWrites bool
+	// StatementFlush keeps batching but flushes one batch per statement
+	// instead of buffering across a whole transaction — the PR-2 pipeline,
+	// kept as the baseline the transaction-scoped pipeline is measured
+	// against. Ignored when SequentialWrites is set (which is stricter).
+	StatementFlush bool
 }
 
 // System is a deployed Synergy instance.
@@ -158,7 +163,10 @@ func New(sch *schema.Schema, roots []string, workloadSQL []string, cfg Config) (
 		return nil, err
 	}
 	if cfg.Concurrency == MVCC {
-		sys.MVCCServer = mvcc.NewServer(cfg.Costs)
+		// The transaction server shares the store's timestamp oracle, so
+		// snapshot ids order consistently against bulk-loaded cell stamps
+		// (a fresh transaction must see the loaded database).
+		sys.MVCCServer = mvcc.NewServerWithOracle(cfg.Costs, store.NextTS)
 	} else {
 		sys.Txn = NewTxnLayer(sys, cfg.Slaves)
 	}
@@ -368,6 +376,19 @@ func (sys *System) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.
 		return sys.ExecuteWrite(ctx, stmt, params)
 	}
 	return sys.Txn.Submit(ctx, stmt, params)
+}
+
+// ExecTxn executes stmts as one multi-statement write transaction: all
+// statements share one transaction-scoped mutator, reads see the
+// transaction's own buffered writes, and commit flushes + WAL-syncs once.
+// Under hierarchical locking the transaction routes through the Synergy
+// transaction layer (WAL-logged, recoverable); under MVCC it runs as a
+// single snapshot transaction.
+func (sys *System) ExecTxn(ctx *sim.Ctx, stmts []sqlparser.Statement, paramsList [][]schema.Value) error {
+	if sys.cfg.Concurrency == MVCC {
+		return sys.ExecuteTxn(ctx, stmts, paramsList)
+	}
+	return sys.Txn.SubmitTxn(ctx, stmts, paramsList)
 }
 
 // DatabaseBytes reports the total storage footprint (tables + indexes +

@@ -20,16 +20,19 @@ var ErrNoSlaves = errors.New("synergy: no live transaction-layer slaves")
 
 const slavesZNode = "/synergy/slaves"
 
-// walRecord is one entry of a slave's write-ahead log. Statements are logged
-// with their parameters before execution; a commit record marks completion.
-// Recovery re-executes statements whose commit record is missing (§VIII:
-// "starting a new slave node to take over and replay the WAL of a failed
-// slave node").
+// walRecord is one entry of a slave's write-ahead log. A transaction's
+// statements are logged with their parameters before execution; a commit
+// record marks completion, an abort record marks a transaction whose
+// buffered writes were discarded. Recovery re-executes transactions with
+// neither record — grouped by transaction id, so a multi-statement
+// transaction replays as one transaction (§VIII: "starting a new slave node
+// to take over and replay the WAL of a failed slave node").
 type walRecord struct {
 	TxID   int64      `json:"tx"`
 	SQL    string     `json:"sql,omitempty"`
 	Params []walParam `json:"params,omitempty"`
 	Commit bool       `json:"commit,omitempty"`
+	Abort  bool       `json:"abort,omitempty"`
 }
 
 type walParam struct {
@@ -115,25 +118,47 @@ func (s *Slave) Kill() {
 // KillBeforeNextExec arms the fault-injection hook.
 func (s *Slave) KillBeforeNextExec() { s.killBeforeExec.Store(true) }
 
-// Execute logs and runs one write transaction.
+// Execute logs and runs one single-statement write transaction.
 func (s *Slave) Execute(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	return s.ExecuteTxn(ctx, []sqlparser.Statement{stmt}, [][]schema.Value{params})
+}
+
+// ExecuteTxn logs and runs one write transaction of any number of
+// statements: every statement is WAL-logged under one transaction id before
+// execution, the statements execute against a single transaction-scoped
+// mutator (commit flushes once), and the outcome is logged as a commit or
+// abort record. Recovery replays transactions with neither record as whole
+// transactions.
+func (s *Slave) ExecuteTxn(ctx *sim.Ctx, stmts []sqlparser.Statement, paramsList [][]schema.Value) error {
 	if !s.alive.Load() {
 		return fmt.Errorf("%w: %s is down", ErrNoSlaves, s.ID)
+	}
+	if len(stmts) != len(paramsList) {
+		return fmt.Errorf("synergy: %d statements, %d parameter lists", len(stmts), len(paramsList))
 	}
 	sys := s.layer.sys
 	ctx.Charge(sys.Cluster.Costs().TxnLayerHop)
 
+	// All of the transaction's statement records travel in one WAL append:
+	// one replication-pipeline round instead of one per statement, and the
+	// records stay contiguous even with concurrent transactions on the
+	// same slave.
 	txid := s.seq.Add(1)
-	ps, err := encodeParams(params)
-	if err != nil {
-		return err
-	}
-	rec, err := json.Marshal(walRecord{TxID: txid, SQL: stmt.String(), Params: ps})
-	if err != nil {
-		return err
+	var log []byte
+	for i, stmt := range stmts {
+		ps, err := encodeParams(paramsList[i])
+		if err != nil {
+			return err
+		}
+		rec, err := json.Marshal(walRecord{TxID: txid, SQL: stmt.String(), Params: ps})
+		if err != nil {
+			return err
+		}
+		log = append(log, rec...)
+		log = append(log, '\n')
 	}
 	s.walMu.Lock()
-	err = sys.FS.Append(ctx, s.walPath, append(rec, '\n'))
+	err := sys.FS.Append(ctx, s.walPath, log)
 	s.walMu.Unlock()
 	if err != nil {
 		return err
@@ -144,13 +169,25 @@ func (s *Slave) Execute(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.
 		return fmt.Errorf("%w: %s crashed mid-transaction", ErrNoSlaves, s.ID)
 	}
 
-	if err := sys.ExecuteWrite(ctx, stmt, params); err != nil {
+	if err := sys.ExecuteTxn(ctx, stmts, paramsList); err != nil {
+		// The transaction aborted and discarded its buffered writes;
+		// record that so recovery does not replay it. A failed abort
+		// record must surface — without it, recovery would re-execute
+		// (and possibly durably commit) a transaction the client was
+		// told failed.
+		if lerr := s.logOutcome(ctx, walRecord{TxID: txid, Abort: true}); lerr != nil {
+			return fmt.Errorf("%w (abort record not logged: %v)", err, lerr)
+		}
 		return err
 	}
+	return s.logOutcome(ctx, walRecord{TxID: txid, Commit: true})
+}
 
-	commit, _ := json.Marshal(walRecord{TxID: txid, Commit: true})
+// logOutcome appends a commit/abort record.
+func (s *Slave) logOutcome(ctx *sim.Ctx, rec walRecord) error {
+	data, _ := json.Marshal(rec)
 	s.walMu.Lock()
-	err = sys.FS.Append(ctx, s.walPath, append(commit, '\n'))
+	err := s.layer.sys.FS.Append(ctx, s.walPath, append(data, '\n'))
 	s.walMu.Unlock()
 	return err
 }
@@ -210,6 +247,12 @@ func (l *TxnLayer) Slaves() []*Slave {
 
 // Submit routes a write statement to a live slave (round-robin).
 func (l *TxnLayer) Submit(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	return l.SubmitTxn(ctx, []sqlparser.Statement{stmt}, [][]schema.Value{params})
+}
+
+// SubmitTxn routes a multi-statement write transaction to a live slave
+// (round-robin).
+func (l *TxnLayer) SubmitTxn(ctx *sim.Ctx, stmts []sqlparser.Statement, paramsList [][]schema.Value) error {
 	l.mu.Lock()
 	var chosen *Slave
 	for range l.slaves {
@@ -224,7 +267,7 @@ func (l *TxnLayer) Submit(ctx *sim.Ctx, stmt sqlparser.Statement, params []schem
 	if chosen == nil {
 		return ErrNoSlaves
 	}
-	return chosen.Execute(ctx, stmt, params)
+	return chosen.ExecuteTxn(ctx, stmts, paramsList)
 }
 
 // DetectAndRecover is the master's failure-detection pass (§VIII): it
@@ -264,15 +307,17 @@ func (l *TxnLayer) DetectAndRecover(ctx *sim.Ctx) (int, error) {
 	return len(dead), nil
 }
 
-// replayWAL re-executes the statements of a dead slave's WAL that lack
-// commit records.
+// replayWAL re-executes the transactions of a dead slave's WAL that have
+// neither a commit nor an abort record, each as one whole transaction in
+// the order its first statement was logged.
 func (l *TxnLayer) replayWAL(ctx *sim.Ctx, walPath string, onto *Slave) error {
 	data, err := l.sys.FS.ReadAll(ctx, walPath)
 	if err != nil {
 		return err
 	}
-	committed := map[int64]bool{}
-	var pending []walRecord
+	finished := map[int64]bool{}
+	grouped := map[int64][]walRecord{}
+	var order []int64
 	for _, line := range strings.Split(string(data), "\n") {
 		if strings.TrimSpace(line) == "" {
 			continue
@@ -281,25 +326,34 @@ func (l *TxnLayer) replayWAL(ctx *sim.Ctx, walPath string, onto *Slave) error {
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			return err
 		}
-		if rec.Commit {
-			committed[rec.TxID] = true
+		if rec.Commit || rec.Abort {
+			finished[rec.TxID] = true
 			continue
 		}
-		pending = append(pending, rec)
+		if _, seen := grouped[rec.TxID]; !seen {
+			order = append(order, rec.TxID)
+		}
+		grouped[rec.TxID] = append(grouped[rec.TxID], rec)
 	}
-	for _, rec := range pending {
-		if committed[rec.TxID] {
+	for _, txid := range order {
+		if finished[txid] {
 			continue
 		}
-		stmt, err := sqlparser.Parse(rec.SQL)
-		if err != nil {
-			return err
+		recs := grouped[txid]
+		stmts := make([]sqlparser.Statement, len(recs))
+		paramsList := make([][]schema.Value, len(recs))
+		for i, rec := range recs {
+			stmt, err := sqlparser.Parse(rec.SQL)
+			if err != nil {
+				return err
+			}
+			params, err := decodeParams(rec.Params)
+			if err != nil {
+				return err
+			}
+			stmts[i], paramsList[i] = stmt, params
 		}
-		params, err := decodeParams(rec.Params)
-		if err != nil {
-			return err
-		}
-		if err := onto.Execute(ctx, stmt, params); err != nil {
+		if err := onto.ExecuteTxn(ctx, stmts, paramsList); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"synergy/internal/core"
 	"synergy/internal/hbase"
+	"synergy/internal/mvcc"
 	"synergy/internal/phoenix"
 	"synergy/internal/schema"
 	"synergy/internal/sim"
@@ -131,11 +132,182 @@ func keyValsFromWhere(info *phoenix.TableInfo, where []sqlparser.Predicate, para
 	return out, nil
 }
 
+// Tx is the write-pipeline state of one in-flight transaction: under
+// hierarchical locking the §VIII procedure (root locks held to commit,
+// dirty marking around multi-row view updates), under MVCC a Tephra-like
+// snapshot transaction. A transaction owns one BufferedMutator for its
+// whole lifetime: every statement emits into it, reads consult its
+// read-your-writes overlay, the maintenance protocol's phase barriers flush
+// it mid-flight, Commit flushes it once (one batch-RPC round, one WAL sync
+// per touched region) and releases the locks, and Abort discards it with
+// nothing buffered persisted.
+type Tx struct {
+	sys     *System
+	opts    phoenix.WriteOpts
+	mutator *hbase.BufferedMutator // nil in per-statement / sequential modes
+	mvccTx  *mvcc.Tx               // nil under hierarchical locking
+	lock    bool                   // hierarchical: root locks + dirty marks
+
+	locks   []lockRef
+	lockSet map[lockRef]struct{}
+	// marks are dirty marks a phase barrier has flushed but the protocol
+	// has not yet un-marked; Abort un-marks them eagerly so an aborted
+	// transaction never leaves rows permanently dirty (readers would
+	// restart forever).
+	marks []markRef
+	stmts int // statements executed (MVCC checkpoints between them)
+	done  bool
+}
+
+type lockRef struct{ root, key string }
+
+// markRef locates one flushed dirty mark: a view row or a covered
+// view-index row.
+type markRef struct{ table, key string }
+
+// BeginTx opens a write transaction on the local system. Under
+// hierarchical locking the caller is normally the transaction layer, which
+// WAL-logs the statements around it; MVCC transactions need no logging.
+func (sys *System) BeginTx(ctx *sim.Ctx) *Tx {
+	tx := &Tx{sys: sys, lock: sys.cfg.Concurrency != MVCC}
+	if sys.cfg.Concurrency == MVCC {
+		t := sys.MVCCServer.Begin(ctx)
+		tx.mvccTx = t
+		tx.opts = phoenix.WriteOpts{TS: t.ID(), Read: t.ReadOpts(), OnWrite: t.RecordWrite, Sequential: sys.cfg.SequentialWrites}
+	} else {
+		tx.opts = phoenix.WriteOpts{Sequential: sys.cfg.SequentialWrites}
+	}
+	// SequentialWrites (eager per-mutation RPCs) and StatementFlush
+	// (PR-2-style statement-scoped batches) both keep the per-statement
+	// pipeline; otherwise the transaction owns the mutator.
+	if !sys.cfg.SequentialWrites && !sys.cfg.StatementFlush {
+		tx.mutator = sys.Engine.Client().NewTxMutator()
+		tx.opts.Mutator = tx.mutator
+	}
+	return tx
+}
+
+// Exec runs one write statement inside the transaction. On error the
+// caller must Abort — the statement's buffered mutations are still in the
+// transaction buffer and must not survive. Under MVCC every statement
+// after the first runs at a fresh checkpoint (write pointer), so one
+// statement's tombstones never shadow a later statement's puts at an equal
+// timestamp.
+func (tx *Tx) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
+	if tx.done {
+		return fmt.Errorf("synergy: transaction already finished")
+	}
+	if tx.mvccTx != nil && tx.stmts > 0 {
+		tx.mvccTx.Checkpoint(ctx)
+		tx.opts.TS = tx.mvccTx.ID()
+		tx.opts.Read = tx.mvccTx.ReadOpts()
+	}
+	tx.stmts++
+	return tx.sys.executeWriteBody(ctx, tx, stmt, params)
+}
+
+// Commit flushes every buffered mutation as one region-grouped batch round,
+// finishes the MVCC transaction when present, and releases the held locks —
+// writes become visible before the locks free, preserving the §VIII
+// protocol.
+func (tx *Tx) Commit(ctx *sim.Ctx) error {
+	if tx.done {
+		return fmt.Errorf("synergy: transaction already finished")
+	}
+	tx.done = true
+	if tx.mutator != nil {
+		if err := tx.mutator.Flush(ctx); err != nil {
+			if tx.mvccTx != nil {
+				tx.sys.MVCCServer.Abort(ctx, tx.mvccTx)
+			}
+			tx.releaseLocks(ctx)
+			return err
+		}
+	}
+	if tx.mvccTx != nil {
+		return tx.sys.MVCCServer.Commit(ctx, tx.mvccTx)
+	}
+	return tx.releaseLocks(ctx)
+}
+
+// Abort discards the buffered mutations unapplied, eagerly un-marks any
+// dirty marks a phase barrier already flushed, invalidates the MVCC
+// transaction when present, and releases every held lock. Work a barrier
+// already persisted stays durable — under MVCC it is invisible (the
+// transaction id is invalidated); under hierarchical locking §VIII-B has no
+// undo, which is why barriers only fire inside the marked window.
+func (tx *Tx) Abort(ctx *sim.Ctx) error {
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	if tx.mutator != nil {
+		tx.mutator.Discard()
+	}
+	var first error
+	if len(tx.marks) > 0 {
+		first = tx.sys.unmarkEager(ctx, tx.marks, tx.opts)
+		tx.marks = nil
+	}
+	if tx.mvccTx != nil {
+		tx.sys.MVCCServer.Abort(ctx, tx.mvccTx)
+	}
+	if err := tx.releaseLocks(ctx); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// acquireLock takes (and records) a root lock, holding it until Commit or
+// Abort; re-acquisition of a lock the transaction already holds is free.
+func (tx *Tx) acquireLock(ctx *sim.Ctx, root, key string) error {
+	ref := lockRef{root, key}
+	if _, held := tx.lockSet[ref]; held {
+		return nil
+	}
+	if err := tx.sys.Locks.Acquire(ctx, root, key); err != nil {
+		return err
+	}
+	if tx.lockSet == nil {
+		tx.lockSet = map[lockRef]struct{}{}
+	}
+	tx.lockSet[ref] = struct{}{}
+	tx.locks = append(tx.locks, ref)
+	return nil
+}
+
+func (tx *Tx) releaseLocks(ctx *sim.Ctx) error {
+	var first error
+	for i := len(tx.locks) - 1; i >= 0; i-- {
+		if err := tx.sys.Locks.Release(ctx, tx.locks[i].root, tx.locks[i].key); err != nil && first == nil {
+			first = err
+		}
+	}
+	tx.locks, tx.lockSet = nil, nil
+	return first
+}
+
+// unmarkEager writes dirty-off marks for flushed-but-not-unmarked rows on
+// the abort path, through a private statement-scoped batch (the
+// transaction's own mutator was just discarded).
+func (sys *System) unmarkEager(ctx *sim.Ctx, marks []markRef, opts phoenix.WriteOpts) error {
+	b := sys.Engine.NewWriteBatch(phoenix.WriteOpts{TS: opts.TS, Sequential: opts.Sequential})
+	for _, mk := range marks {
+		cell := []hbase.Cell{{Qualifier: phoenix.DirtyQualifier, Value: dirtyOff, TS: opts.TS}}
+		if err := b.PutQuiet(ctx, mk.table, mk.key, cell); err != nil {
+			return err
+		}
+	}
+	return b.Flush(ctx)
+}
+
 // resolveRootKey walks the lock chain upward — child foreign key to parent
 // primary key — to find the root-relation row key this write must lock
 // (§VIII-A "to update a row for a relation in a rooted tree, we acquire the
-// lock on the key of the associated row in the root relation").
-func (sys *System) resolveRootKey(ctx *sim.Ctx, plan *core.WritePlan, baseRow schema.Row) (string, error) {
+// lock on the key of the associated row in the root relation"). Parent
+// lookups go through rd so rows buffered by earlier statements of the same
+// transaction resolve.
+func (sys *System) resolveRootKey(ctx *sim.Ctx, rd hbase.Reader, plan *core.WritePlan, baseRow schema.Row) (string, error) {
 	if plan.Root == "" {
 		return "", nil
 	}
@@ -165,7 +337,7 @@ func (sys *System) resolveRootKey(ctx *sim.Ctx, plan *core.WritePlan, baseRow sc
 		if err != nil {
 			return "", err
 		}
-		parentRow, found, err := sys.Engine.GetRow(ctx, parentInfo, hbase.ReadOpts{}, fkVals...)
+		parentRow, found, err := sys.Engine.GetRowVia(ctx, rd, parentInfo, hbase.ReadOpts{}, fkVals...)
 		if err != nil {
 			return "", err
 		}
@@ -177,29 +349,50 @@ func (sys *System) resolveRootKey(ctx *sim.Ctx, plan *core.WritePlan, baseRow sc
 	return "", nil
 }
 
-// ExecuteWrite runs the full write transaction procedure. Under hierarchical
-// locking it is §VIII-B: acquire the single root lock, write the base table
-// (and base indexes), maintain every applicable view per the §VII
-// construction procedures — marking and un-marking rows around multi-row
-// view updates — and release the lock. Under MVCC the same base write and
-// view maintenance run inside a Tephra-like snapshot transaction (no locks,
-// no dirty marking) — the MVCC-A configuration of §IX-D2.
+// ExecuteWrite runs one write statement as its own transaction. Under
+// hierarchical locking it is §VIII-B: acquire the single root lock, write
+// the base table (and base indexes), maintain every applicable view per the
+// §VII construction procedures — marking and un-marking rows around
+// multi-row view updates — and release the lock. Under MVCC the same base
+// write and view maintenance run inside a Tephra-like snapshot transaction
+// (no locks, no dirty marking) — the MVCC-A configuration of §IX-D2.
 func (sys *System) ExecuteWrite(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
-	if sys.cfg.Concurrency == MVCC {
-		tx := sys.MVCCServer.Begin(ctx)
-		opts := phoenix.WriteOpts{TS: tx.ID(), Read: tx.ReadOpts(), OnWrite: tx.RecordWrite, Sequential: sys.cfg.SequentialWrites}
-		if err := sys.executeWriteBody(ctx, stmt, params, opts, false); err != nil {
-			sys.MVCCServer.Abort(ctx, tx)
-			return err
-		}
-		return sys.MVCCServer.Commit(ctx, tx)
-	}
-	return sys.executeWriteBody(ctx, stmt, params, phoenix.WriteOpts{Sequential: sys.cfg.SequentialWrites}, true)
+	return sys.ExecuteTxn(ctx, []sqlparser.Statement{stmt}, [][]schema.Value{params})
 }
 
-// executeWriteBody is the shared base-write + view-maintenance procedure.
-// lock selects the hierarchical protocol (single root lock + dirty marking).
-func (sys *System) executeWriteBody(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value, opts phoenix.WriteOpts, lock bool) error {
+// ExecuteTxn runs stmts as one transaction on the local system: one
+// transaction-scoped mutator shared by every statement, locks held to
+// commit, a single commit flush. A statement error aborts the transaction —
+// buffered mutations are discarded, flushed dirty marks un-marked, locks
+// released. Note the §VIII-B durability caveat: under hierarchical locking
+// a marked multi-row update's phase barriers flush everything buffered so
+// far, and there is no undo log — an abort after such a barrier keeps that
+// flushed work durable (under MVCC it is invisible instead, via the
+// invalidated transaction id). The transaction layer calls this after
+// WAL-logging; use System.ExecTxn to route through it.
+func (sys *System) ExecuteTxn(ctx *sim.Ctx, stmts []sqlparser.Statement, paramsList [][]schema.Value) error {
+	if len(stmts) != len(paramsList) {
+		return fmt.Errorf("synergy: %d statements, %d parameter lists", len(stmts), len(paramsList))
+	}
+	tx := sys.BeginTx(ctx)
+	for i, stmt := range stmts {
+		if err := tx.Exec(ctx, stmt, paramsList[i]); err != nil {
+			// A failed abort (un-mark or lock release) must surface too:
+			// it leaves rows dirty or locked, which the operator needs to
+			// know about far more than the statement error alone.
+			if aerr := tx.Abort(ctx); aerr != nil {
+				return fmt.Errorf("%w (abort: %v)", err, aerr)
+			}
+			return err
+		}
+	}
+	return tx.Commit(ctx)
+}
+
+// executeWriteBody is the shared base-write + view-maintenance procedure of
+// one statement inside tx.
+func (sys *System) executeWriteBody(ctx *sim.Ctx, tx *Tx, stmt sqlparser.Statement, params []schema.Value) error {
+	opts := tx.opts
 	parts, info, err := sys.parseWrite(stmt, params)
 	if err != nil {
 		return err
@@ -214,10 +407,13 @@ func (sys *System) executeWriteBody(ctx *sim.Ctx, stmt sqlparser.Statement, para
 	}
 
 	// Materialize the base row: inserts carry it; updates/deletes read it
-	// (also needed for view maintenance).
+	// (also needed for view maintenance). The read goes through the
+	// transaction's overlay so rows written by earlier statements of the
+	// same transaction — still buffered, invisible in the store — resolve.
+	rd := sys.Engine.Reader(opts)
 	baseRow := parts.row
 	if parts.kind != core.WriteInsert {
-		row, found, err := sys.Engine.GetRow(ctx, info, opts.Read, parts.keyVals...)
+		row, found, err := sys.Engine.GetRowVia(ctx, rd, info, opts.Read, parts.keyVals...)
 		if err != nil {
 			return err
 		}
@@ -227,29 +423,35 @@ func (sys *System) executeWriteBody(ctx *sim.Ctx, stmt sqlparser.Statement, para
 		baseRow = row
 	}
 
-	// Step 1: acquire the single lock.
-	if lock {
-		rootKey, err := sys.resolveRootKey(ctx, plan, baseRow)
+	// Step 1: acquire the single lock, held until the transaction commits.
+	if tx.lock {
+		rootKey, err := sys.resolveRootKey(ctx, rd, plan, baseRow)
 		if err != nil {
 			return err
 		}
 		if plan.Root != "" && rootKey != "" {
-			if err := sys.Locks.Acquire(ctx, plan.Root, rootKey); err != nil {
+			if err := tx.acquireLock(ctx, plan.Root, rootKey); err != nil {
 				return err
 			}
-			defer sys.Locks.Release(ctx, plan.Root, rootKey)
 		}
 	}
 
-	// Base write (+ base indexes) through the SQL layer.
+	// Base write (+ base indexes) through the SQL layer, emitting into the
+	// transaction's mutator.
 	if err := sys.Engine.Exec(ctx, stmt, params, opts); err != nil {
 		return err
 	}
-	// New root rows get a lock-table entry (§VIII-A).
-	if lock && parts.kind == core.WriteInsert && sys.isRoot(parts.table) {
+	// New root rows get a lock-table entry (§VIII-A); lock entries are
+	// eager — they must be acquirable by concurrent transactions at once.
+	// When the transaction already holds the new row's lock, Acquire's
+	// create-if-absent made the entry and Release frees it at commit;
+	// re-creating it here would overwrite the held lock with a free one.
+	if tx.lock && parts.kind == core.WriteInsert && sys.isRoot(parts.table) {
 		key, _ := phoenix.PrimaryKey(info, parts.row)
-		if err := sys.Locks.EnsureEntry(ctx, parts.table, key); err != nil {
-			return err
+		if _, held := tx.lockSet[lockRef{parts.table, key}]; !held {
+			if err := sys.Locks.EnsureEntry(ctx, parts.table, key); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -257,15 +459,15 @@ func (sys *System) executeWriteBody(ctx *sim.Ctx, stmt sqlparser.Statement, para
 	for _, action := range plan.Actions {
 		switch parts.kind {
 		case core.WriteInsert:
-			if err := sys.maintainInsert(ctx, action, parts, opts); err != nil {
+			if err := sys.maintainInsert(ctx, tx, action, parts); err != nil {
 				return err
 			}
 		case core.WriteDelete:
-			if err := sys.maintainDelete(ctx, action, parts, opts); err != nil {
+			if err := sys.maintainDelete(ctx, tx, action, parts); err != nil {
 				return err
 			}
 		case core.WriteUpdate:
-			if err := sys.maintainUpdate(ctx, action, parts, opts, lock); err != nil {
+			if err := sys.maintainUpdate(ctx, tx, action, parts); err != nil {
 				return err
 			}
 		}
@@ -274,8 +476,11 @@ func (sys *System) executeWriteBody(ctx *sim.Ctx, stmt sqlparser.Statement, para
 }
 
 // maintainInsert constructs and inserts the view tuple (§VII-A2): read the
-// k-1 related base rows walking the foreign keys upward, merge, insert.
-func (sys *System) maintainInsert(ctx *sim.Ctx, action core.ViewAction, parts *writeParts, opts phoenix.WriteOpts) error {
+// k-1 related base rows walking the foreign keys upward (through the
+// transaction overlay), merge, insert.
+func (sys *System) maintainInsert(ctx *sim.Ctx, tx *Tx, action core.ViewAction, parts *writeParts) error {
+	opts := tx.opts
+	rd := sys.Engine.Reader(opts)
 	combined := parts.row.Clone()
 	cur := parts.row
 	for _, e := range action.ReadChain {
@@ -290,7 +495,7 @@ func (sys *System) maintainInsert(ctx *sim.Ctx, action core.ViewAction, parts *w
 		if err != nil {
 			return err
 		}
-		parentRow, found, err := sys.Engine.GetRow(ctx, parentInfo, opts.Read, fkVals...)
+		parentRow, found, err := sys.Engine.GetRowVia(ctx, rd, parentInfo, opts.Read, fkVals...)
 		if err != nil {
 			return err
 		}
@@ -312,27 +517,30 @@ func (sys *System) maintainInsert(ctx *sim.Ctx, action core.ViewAction, parts *w
 // maintainDelete removes the view tuple: the view key equals the base key
 // (the deleted relation is the view's last); the view row is read first to
 // construct the view-index keys (§VII-B2).
-func (sys *System) maintainDelete(ctx *sim.Ctx, action core.ViewAction, parts *writeParts, opts phoenix.WriteOpts) error {
+func (sys *System) maintainDelete(ctx *sim.Ctx, tx *Tx, action core.ViewAction, parts *writeParts) error {
 	viewInfo, err := sys.Catalog.Table(action.View.Name())
 	if err != nil {
 		return err
 	}
-	return sys.Engine.DeleteRow(ctx, viewInfo, parts.keyVals, opts)
+	return sys.Engine.DeleteRow(ctx, viewInfo, parts.keyVals, tx.opts)
 }
 
 // maintainUpdate applies a base-table update to a view. Under the
-// hierarchical protocol (mark == true) it is the 6-step procedure of
-// §VIII-B: (1) lock held by caller, (2) read affected rows, (3) mark them
-// dirty, (4) update, (5) un-mark, (6) release by caller. Under MVCC the
+// hierarchical protocol (tx.lock) it is the 6-step procedure of §VIII-B:
+// (1) lock held by the transaction, (2) read affected rows, (3) mark them
+// dirty, (4) update, (5) un-mark, (6) release at commit. Under MVCC the
 // marking steps are skipped — snapshot visibility isolates readers.
-func (sys *System) maintainUpdate(ctx *sim.Ctx, action core.ViewAction, parts *writeParts, opts phoenix.WriteOpts, mark bool) error {
+func (sys *System) maintainUpdate(ctx *sim.Ctx, tx *Tx, action core.ViewAction, parts *writeParts) error {
+	opts := tx.opts
+	mark := tx.lock
 	viewInfo, err := sys.Catalog.Table(action.View.Name())
 	if err != nil {
 		return err
 	}
 
-	// Step 2: read the view rows that need updating.
-	rows, err := sys.locateViewRows(ctx, action, viewInfo, parts, opts.Read)
+	// Step 2: read the view rows that need updating (overlay-aware: a view
+	// tuple an earlier statement inserted but has not flushed is located).
+	rows, err := sys.locateViewRows(ctx, sys.Engine.Reader(opts), action, viewInfo, parts, opts.Read)
 	if err != nil {
 		return err
 	}
@@ -353,13 +561,16 @@ func (sys *System) maintainUpdate(ctx *sim.Ctx, action core.ViewAction, parts *w
 		targets = append(targets, target{viewKey: key, row: r})
 	}
 
-	// Each phase of the protocol is one batch: the dirty marks flush before
-	// any update is issued, the updates flush before any row is un-marked.
-	// Within a phase, mutations to independent rows (and regions) carry no
-	// ordering requirement, so they ship as region-grouped batch RPCs; the
-	// Flush boundaries preserve exactly the ordering the dirty-read
-	// protocol requires. Marks are quiet (not part of the MVCC write set);
-	// the step-4 notifications fire when that phase's flush lands.
+	// Each phase of the protocol ends in an ordering barrier: the dirty
+	// marks flush before any update is issued, the updates flush before any
+	// row is un-marked. On a transaction-scoped mutator a barrier also
+	// flushes whatever earlier statements buffered — buffer order is
+	// preserved across it, so the §VIII-B ordering holds for the whole
+	// transaction. Within a phase, mutations to independent rows carry no
+	// ordering requirement and ship as region-grouped batch RPCs. Marks are
+	// quiet (not part of the MVCC write set); under MVCC no barrier fires —
+	// everything rides to the commit flush. The transaction records flushed
+	// marks so an abort can un-mark them.
 	batch := sys.Engine.NewWriteBatch(opts)
 	markCell := func(v []byte) []hbase.Cell {
 		return []hbase.Cell{{Qualifier: phoenix.DirtyQualifier, Value: v, TS: opts.TS}}
@@ -367,32 +578,60 @@ func (sys *System) maintainUpdate(ctx *sim.Ctx, action core.ViewAction, parts *w
 	putCells := func(row schema.Row) []hbase.Cell {
 		return phoenix.StampCells(phoenix.RowToCells(row), opts.TS)
 	}
-	markAll := func(value []byte) error {
+	// markAll emits one phase of marks and barriers it. The dirty-on phase
+	// records the marked rows on the transaction (reusing the index keys
+	// it already computes) so an abort can un-mark them; the un-mark phase
+	// has nothing to record.
+	markAll := func(value []byte, record bool) error {
+		var refs []markRef
+		if record {
+			refs = make([]markRef, 0, len(targets))
+		}
 		for _, tg := range targets {
 			if err := batch.PutQuiet(ctx, viewInfo.Name, tg.viewKey, markCell(value)); err != nil {
 				return err
+			}
+			if record {
+				refs = append(refs, markRef{viewInfo.Name, tg.viewKey})
 			}
 			for _, idx := range viewInfo.Indexes {
 				if idx.KeyOnly {
 					continue
 				}
-				if err := batch.PutQuiet(ctx, idx.Name, phoenix.IndexKey(viewInfo, idx, tg.row), markCell(value)); err != nil {
+				ikey := phoenix.IndexKey(viewInfo, idx, tg.row)
+				if err := batch.PutQuiet(ctx, idx.Name, ikey, markCell(value)); err != nil {
 					return err
+				}
+				if record {
+					refs = append(refs, markRef{idx.Name, ikey})
 				}
 			}
 		}
-		return batch.Flush(ctx)
+		if err := batch.Barrier(ctx); err != nil {
+			return err
+		}
+		if record {
+			tx.marks = refs
+		}
+		return nil
 	}
 
 	// Step 3: mark rows (view + covered view-index copies; key-only
 	// maintenance indexes are never read by queries and need no marks).
 	if mark {
-		if err := markAll(dirtyOn); err != nil {
+		if err := markAll(dirtyOn, true); err != nil {
 			return err
 		}
 	}
 
-	// Step 4: issue the updates as one batch.
+	// Step 4: issue the updates as one batch. Index keys may move with the
+	// update, so the marked set is re-recorded from the keys this loop
+	// computes — after the barrier an abort must un-mark the rows that are
+	// actually marked now.
+	var updatedRefs []markRef
+	if mark {
+		updatedRefs = make([]markRef, 0, len(tx.marks))
+	}
 	for ti := range targets {
 		tg := &targets[ti]
 		updated := tg.row.Clone()
@@ -402,9 +641,15 @@ func (sys *System) maintainUpdate(ctx *sim.Ctx, action core.ViewAction, parts *w
 		if err := batch.Put(ctx, viewInfo.Name, tg.viewKey, putCells(parts.assign)); err != nil {
 			return err
 		}
+		if mark {
+			updatedRefs = append(updatedRefs, markRef{viewInfo.Name, tg.viewKey})
+		}
 		for _, idx := range viewInfo.Indexes {
 			oldKey := phoenix.IndexKey(viewInfo, idx, tg.row)
 			newKey := phoenix.IndexKey(viewInfo, idx, updated)
+			if mark && !idx.KeyOnly {
+				updatedRefs = append(updatedRefs, markRef{idx.Name, newKey})
+			}
 			if oldKey != newKey {
 				if err := batch.DeleteQuiet(ctx, idx.Name, oldKey, opts.TS); err != nil {
 					return err
@@ -427,25 +672,32 @@ func (sys *System) maintainUpdate(ctx *sim.Ctx, action core.ViewAction, parts *w
 		}
 		tg.row = updated
 	}
-	if err := batch.Flush(ctx); err != nil {
+	if mark {
+		if err := batch.Barrier(ctx); err != nil {
+			return err
+		}
+		tx.marks = updatedRefs
+	} else if err := batch.Flush(ctx); err != nil {
 		return err
 	}
 
 	// Step 5: un-mark.
 	if mark {
-		if err := markAll(dirtyOff); err != nil {
+		if err := markAll(dirtyOff, false); err != nil {
 			return err
 		}
+		tx.marks = nil
 	}
 	return nil
 }
 
 // locateViewRows finds the view rows affected by an update per the plan's
-// locator (§VII-C).
-func (sys *System) locateViewRows(ctx *sim.Ctx, action core.ViewAction, viewInfo *phoenix.TableInfo, parts *writeParts, read hbase.ReadOpts) ([]schema.Row, error) {
+// locator (§VII-C). All reads go through rd, so view tuples buffered by
+// earlier statements of the same transaction are located too.
+func (sys *System) locateViewRows(ctx *sim.Ctx, rd hbase.Reader, action core.ViewAction, viewInfo *phoenix.TableInfo, parts *writeParts, read hbase.ReadOpts) ([]schema.Row, error) {
 	switch action.Locator {
 	case core.LocateByViewKey:
-		row, found, err := sys.Engine.GetRow(ctx, viewInfo, read, parts.keyVals...)
+		row, found, err := sys.Engine.GetRowVia(ctx, rd, viewInfo, read, parts.keyVals...)
 		if err != nil || !found {
 			return nil, err
 		}
@@ -456,7 +708,7 @@ func (sys *System) locateViewRows(ctx *sim.Ctx, action core.ViewAction, viewInfo
 		// view keys it yields, then read the full rows. Locator probes
 		// are short prefix reads, so they stay sequential.
 		prefix := schema.KeyPrefix(parts.keyVals...)
-		sc, err := sys.Engine.Client().Scan(ctx, action.LocatorIndex.Name(), hbase.ScanSpec{Prefix: prefix, Read: read, Sequential: true})
+		sc, err := rd.OpenScan(ctx, action.LocatorIndex.Name(), hbase.ScanSpec{Prefix: prefix, Read: read, Sequential: true})
 		if err != nil {
 			return nil, err
 		}
@@ -475,7 +727,7 @@ func (sys *System) locateViewRows(ctx *sim.Ctx, action core.ViewAction, viewInfo
 		}
 		var out []schema.Row
 		for _, vals := range keys {
-			full, found, err := sys.Engine.GetRow(ctx, viewInfo, read, vals...)
+			full, found, err := sys.Engine.GetRowVia(ctx, rd, viewInfo, read, vals...)
 			if err != nil {
 				return nil, err
 			}
@@ -491,7 +743,7 @@ func (sys *System) locateViewRows(ctx *sim.Ctx, action core.ViewAction, viewInfo
 		rel := sys.Design.Schema.Relation(parts.table)
 		pk := rel.PK
 		keyVals := parts.keyVals
-		sc, err := sys.Engine.Client().Scan(ctx, viewInfo.Name, hbase.ScanSpec{
+		sc, err := rd.OpenScan(ctx, viewInfo.Name, hbase.ScanSpec{
 			Read: read,
 			Filter: func(r hbase.RowResult) bool {
 				row := phoenix.CellsToRow(r)
