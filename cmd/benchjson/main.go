@@ -1,9 +1,21 @@
 // benchjson converts `go test -bench` output on stdin into a machine-
 // readable JSON report on stdout, so CI can archive the perf trajectory
 // (simulated latency and allocations per benchmark) as a build artifact and
-// diff it PR-over-PR.
+// diff it PR-over-PR:
 //
 //	go test -bench . -benchtime 1x -run '^$' ./internal/... | go run ./cmd/benchjson > BENCH.json
+//
+// It also carries the CI regression guard: compare mode diffs two reports'
+// sim-ms/op — the deterministic simulated latency, stable across machines —
+// and exits nonzero when any benchmark regressed past the tolerance:
+//
+//	go run ./cmd/benchjson -compare BENCH_baseline.json BENCH.json -tolerance 1.5x
+//
+// Benchmark names are matched with their -<GOMAXPROCS> suffix stripped, so a
+// baseline recorded on an 8-core machine guards a 4-core CI runner.
+// Benchmarks present only in the new report pass (new coverage); benchmarks
+// that disappeared are warned about on stderr but do not fail the build —
+// update the committed baseline when renaming or removing one.
 package main
 
 import (
@@ -32,6 +44,50 @@ type Report struct {
 }
 
 func main() {
+	// Hand-rolled argument scan so the documented usage works regardless of
+	// flag order (`-compare old new -tolerance 1.5x`).
+	var compare []string
+	tolerance := 1.5
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-compare", "--compare":
+			if len(args) < i+3 {
+				fatal("usage: benchjson -compare old.json new.json [-tolerance 1.5x]")
+			}
+			compare = []string{args[i+1], args[i+2]}
+			i += 2
+		case "-tolerance", "--tolerance":
+			if len(args) < i+2 {
+				fatal("-tolerance needs a value (e.g. 1.5x)")
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(args[i+1], "x"), 64)
+			if err != nil || v < 1 {
+				fatal(fmt.Sprintf("bad tolerance %q: want a ratio >= 1 like 1.5x", args[i+1]))
+			}
+			tolerance = v
+			i++
+		case "-h", "--help":
+			fmt.Fprintln(os.Stderr, "usage: benchjson < bench.txt > BENCH.json")
+			fmt.Fprintln(os.Stderr, "       benchjson -compare old.json new.json [-tolerance 1.5x]")
+			return
+		default:
+			fatal(fmt.Sprintf("unknown argument %q", args[i]))
+		}
+	}
+	if compare != nil {
+		os.Exit(runCompare(compare[0], compare[1], tolerance))
+	}
+	runConvert()
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "benchjson:", msg)
+	os.Exit(2)
+}
+
+// runConvert is the original stdin -> JSON mode.
+func runConvert() {
 	var rep Report
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -75,4 +131,85 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// simMetric is the compared unit: simulated latency is deterministic for a
+// given tree, so any movement is a real code-path change, not machine noise.
+const simMetric = "sim-ms/op"
+
+// regressFloor ignores regressions below this absolute sim-ms delta:
+// sub-10µs benchmarks can legally wobble by a charge quantum.
+const regressFloor = 0.01
+
+func runCompare(oldPath, newPath string, tolerance float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newByName := map[string]Benchmark{}
+	for _, b := range newRep.Benchmarks {
+		newByName[normalizeName(b.Name)] = b
+	}
+
+	compared, regressions := 0, 0
+	for _, ob := range oldRep.Benchmarks {
+		oldSim, ok := ob.Metrics[simMetric]
+		if !ok {
+			continue
+		}
+		name := normalizeName(ob.Name)
+		nb, ok := newByName[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %s missing from %s (baseline stale?)\n", name, newPath)
+			continue
+		}
+		newSim, ok := nb.Metrics[simMetric]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %s lost its %s metric\n", name, simMetric)
+			continue
+		}
+		compared++
+		if oldSim > 0 && newSim > oldSim*tolerance && newSim-oldSim > regressFloor {
+			regressions++
+			fmt.Printf("REGRESSION %-60s %10.3f -> %10.3f %s (%.2fx > %.2fx tolerance)\n",
+				name, oldSim, newSim, simMetric, newSim/oldSim, tolerance)
+		}
+	}
+	fmt.Printf("benchjson: compared %d benchmarks on %s, %d regression(s) past %.2fx\n",
+		compared, simMetric, regressions, tolerance)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// normalizeName strips the -<GOMAXPROCS> suffix go test appends, so reports
+// from machines with different core counts compare by benchmark identity.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
 }

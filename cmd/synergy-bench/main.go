@@ -8,6 +8,7 @@
 //	synergy-bench -experiment all -cust 1000 -reps 10
 //	synergy-bench -experiment fig10 -scales 500,5000,50000
 //	synergy-bench -experiment table3 -cust 2000
+//	synergy-bench -experiment contention -hotrows 1,4,16 -workers 8 -ops 50
 package main
 
 import (
@@ -22,16 +23,20 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig10|fig11|fig12|fig13|fig14|table1|table2|table3|design|all")
+		experiment = flag.String("experiment", "all", "fig10|fig11|fig12|fig13|fig14|table1|table2|table3|design|contention|all")
 		cust       = flag.Int("cust", 1000, "TPC-W customer count (paper: 1,000,000)")
 		reps       = flag.Int("reps", 10, "repetitions per measurement (paper: 10)")
 		seed       = flag.Int64("seed", 1, "deterministic seed")
 		scales     = flag.String("scales", "500,5000,20000", "Figure 10 customer scales (paper: 500,5000,50000)")
 		locks      = flag.String("locks", "10,100,1000", "Figure 11 lock counts")
+		hotRows    = flag.String("hotrows", "1,4,16", "contention sweep hot-row counts")
+		workers    = flag.Int("workers", 4, "contention sweep concurrent workers")
+		ops        = flag.Int("ops", 25, "contention sweep updates per worker")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *cust, *reps, *seed, parseInts(*scales), parseInts(*locks)); err != nil {
+	if err := run(*experiment, *cust, *reps, *seed, parseInts(*scales), parseInts(*locks),
+		parseInts(*hotRows), *workers, *ops); err != nil {
 		fmt.Fprintln(os.Stderr, "synergy-bench:", err)
 		os.Exit(1)
 	}
@@ -54,7 +59,7 @@ func parseInts(csv string) []int {
 	return out
 }
 
-func run(experiment string, cust, reps int, seed int64, scales, locks []int) error {
+func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows []int, workers, ops int) error {
 	needSystems := map[string]bool{"fig12": true, "fig14": true, "table2": true, "table3": true, "all": true}
 	var set *bench.SystemSet
 	if needSystems[experiment] {
@@ -106,6 +111,13 @@ func run(experiment string, cust, reps int, seed int64, scales, locks []int) err
 	}
 	if want("fig13") {
 		fmt.Println(bench.Figure13Matrix())
+	}
+	if want("contention") {
+		res, err := bench.RunContention(hotRows, workers, ops, seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderContention(res))
 	}
 	if want("fig14") {
 		g, err := bench.RunFigure14(set, reps, seed)

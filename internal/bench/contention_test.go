@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestContentionSweepShape: the sweep reports every (hot-row, mode) cell,
+// every transaction commits, and the mechanisms behave according to type —
+// hierarchical locking never aborts, while under single-hot-row contention
+// the MVCC and OCC columns carry latency no lower than their uncontended
+// cells (retries and backoff cannot make transactions cheaper).
+func TestContentionSweepShape(t *testing.T) {
+	res, err := RunContention([]int{1, 8}, 4, 10, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hr := range []int{1, 8} {
+		for _, m := range ContentionModes {
+			c, ok := res.Cells[hr][m.Name]
+			if !ok {
+				t.Fatalf("missing cell %s/%d", m.Name, hr)
+			}
+			if c.Txns != 4*10 {
+				t.Errorf("%s/%d: %d committed txns, want 40", m.Name, hr, c.Txns)
+			}
+			if m.Name == "Hierarchical" && c.Conflicts != 0 {
+				t.Errorf("hierarchical locking reported %d conflicts; it blocks, it does not abort", c.Conflicts)
+			}
+		}
+	}
+	// OCC's latency must sit far below MVCC's (no Tephra begin/commit
+	// round trips) — the headline of the three-way comparison.
+	occ8 := res.Cells[8]["OCC"].Mean.Mean
+	mvcc8 := res.Cells[8]["MVCC"].Mean.Mean
+	if occ8 >= mvcc8/10 {
+		t.Errorf("OCC at 8 hot rows = %.1fms, want far below MVCC's %.1fms", occ8, mvcc8)
+	}
+	// The optimistic waves overlap by construction: a single hot row must
+	// produce validation aborts, and spreading the updates over 8 rows must
+	// reduce them. Contention must also cost latency.
+	for _, mode := range []string{"MVCC", "OCC"} {
+		hot, cool := res.Cells[1][mode], res.Cells[8][mode]
+		if hot.Conflicts == 0 {
+			t.Errorf("%s at 1 hot row reported no conflicts; waves must overlap", mode)
+		}
+		if cool.Conflicts >= hot.Conflicts {
+			t.Errorf("%s conflicts did not fall with more hot rows: %d -> %d", mode, hot.Conflicts, cool.Conflicts)
+		}
+		if hot.Mean.Mean <= cool.Mean.Mean {
+			t.Errorf("%s mean latency under contention (%.2fms) not above uncontended (%.2fms)",
+				mode, hot.Mean.Mean, cool.Mean.Mean)
+		}
+	}
+
+	// Hierarchical locking pays contention as queueing: latency must rise
+	// as the hot set shrinks, with no aborts ever.
+	if h1, h8 := res.Cells[1]["Hierarchical"].Mean.Mean, res.Cells[8]["Hierarchical"].Mean.Mean; h1 <= h8 {
+		t.Errorf("hierarchical latency under contention (%.2fms) not above uncontended (%.2fms)", h1, h8)
+	}
+
+	out := RenderContention(res)
+	for _, want := range []string{"Hierarchical", "MVCC", "OCC", "hot rows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

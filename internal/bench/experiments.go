@@ -329,6 +329,9 @@ func Figure13Matrix() string {
 	w("MVCC-A", "Schema-relationships aware", "MVCC")
 	w("MVCC-UA", "Schema-relationships UNaware", "MVCC")
 	w("Baseline", "None", "MVCC")
+	// Beyond the paper: the optimistic third mechanism this reproduction
+	// adds to the comparison (see the contention sweep).
+	w("Synergy-OCC", "Schema-relationships aware", "OCC (backward validation)")
 	return b.String()
 }
 

@@ -23,6 +23,12 @@ type Client struct {
 	// the write path's dominant per-statement allocation once batching
 	// amortized the RPCs.
 	mutPool sync.Pool
+	// overlayPool and otPool recycle the read-your-writes overlay index
+	// (the per-table map and the overlayTable structs) across transactions
+	// on the same client — the maps were the next allocation hot spot after
+	// Mutation buffers on maintenance-heavy statements.
+	overlayPool sync.Pool
+	otPool      sync.Pool
 }
 
 // getMutBuf returns an empty Mutation buffer, reusing a flushed one when
@@ -43,6 +49,40 @@ func (c *Client) putMutBuf(buf []Mutation) {
 	}
 	buf = buf[:0]
 	c.mutPool.Put(&buf)
+}
+
+// getOverlay returns an empty overlay index, reusing a recycled one.
+func (c *Client) getOverlay() map[string]*overlayTable {
+	if v := c.overlayPool.Get(); v != nil {
+		return v.(map[string]*overlayTable)
+	}
+	return make(map[string]*overlayTable, 4)
+}
+
+// getOverlayTable returns an empty per-table overlay, reusing a recycled
+// one (rows map kept allocated, keys slice kept at capacity).
+func (c *Client) getOverlayTable() *overlayTable {
+	if v := c.otPool.Get(); v != nil {
+		return v.(*overlayTable)
+	}
+	return newOverlayTable()
+}
+
+// putOverlay recycles an overlay index and its tables. The pending rowData
+// values are released to the GC — returned RowResults may still alias their
+// cell values — but the maps and slices, the bulk of the steady-state
+// allocation churn, are reused. Safe only once nothing reads through the
+// overlay anymore, which the BufferedMutator contract already guarantees
+// (one request, scans drained before a flush boundary).
+func (c *Client) putOverlay(ov map[string]*overlayTable) {
+	for tbl, ot := range ov {
+		clear(ot.rows)
+		ot.keys = ot.keys[:0]
+		ot.sorted = false
+		c.otPool.Put(ot)
+		delete(ov, tbl)
+	}
+	c.overlayPool.Put(ov)
 }
 
 // NewClient returns a cold client running on the workload driver node.

@@ -265,11 +265,11 @@ func (m *BufferedMutator) overlayApply(mut Mutation) {
 		return // nobody reads through this buffer before it flushes
 	}
 	if m.overlay == nil {
-		m.overlay = make(map[string]*overlayTable)
+		m.overlay = m.c.getOverlay()
 	}
 	ot := m.overlay[mut.Table]
 	if ot == nil {
-		ot = newOverlayTable()
+		ot = m.c.getOverlayTable()
 		m.overlay[mut.Table] = ot
 	}
 	rd := ot.upsert(mut.Key)
@@ -313,6 +313,22 @@ func (m *BufferedMutator) pendingRow(tbl, key string) *rowData {
 	return nil
 }
 
+// StampPending assigns a store timestamp to every unstamped pending
+// mutation in buffer order, drawing from next (cells inherit the mutation's
+// stamp at flush, as flush-time stamping does). OCC commits call this under
+// the validator's lock, so a commit's stamps form a block that no snapshot
+// horizon or other commit's watermark can land inside — which is what makes
+// a multi-mutation commit atomic to snapshot readers and the validator's
+// fully-visible-iff-older check sound. Returns the pending mutation count.
+func (m *BufferedMutator) StampPending(next func() int64) int {
+	for i := range m.muts {
+		if m.muts[i].TS == 0 {
+			m.muts[i].TS = next()
+		}
+	}
+	return len(m.muts)
+}
+
 // Flush ships every buffered mutation. A flush boundary is also an ordering
 // barrier: everything buffered before it is applied before anything added
 // after, which is what the dirty-mark / update / un-mark phases of the
@@ -324,7 +340,10 @@ func (m *BufferedMutator) Flush(ctx *sim.Ctx) error {
 	}
 	muts := m.muts
 	m.muts = nil
-	m.overlay = nil
+	if m.overlay != nil {
+		m.c.putOverlay(m.overlay)
+		m.overlay = nil
+	}
 	err := m.c.MutateBatch(ctx, muts)
 	m.c.putMutBuf(muts)
 	return err
@@ -340,5 +359,8 @@ func (m *BufferedMutator) Discard() {
 		m.c.putMutBuf(m.muts)
 		m.muts = nil
 	}
-	m.overlay = nil
+	if m.overlay != nil {
+		m.c.putOverlay(m.overlay)
+		m.overlay = nil
+	}
 }

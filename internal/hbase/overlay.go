@@ -41,6 +41,17 @@ const overlayTSBase = int64(1) << 60
 // decided at read time, never by version trimming.
 const overlayKeep = 1 << 30
 
+// SnapshotRead returns the visibility filter of a begin-timestamp snapshot
+// that still admits a transaction's own pending writes: store cells stamped
+// above snap are hidden, while the synthetic overlay timestamps of unstamped
+// buffered mutations (which live at overlayTSBase and above, far beyond any
+// oracle-issued stamp) stay visible. OCC transactions read through this —
+// their buffered writes carry no store timestamp until the commit flush, so
+// a plain ReadTS filter would hide the transaction from itself.
+func SnapshotRead(snap int64) ReadOpts {
+	return ReadOpts{Excluded: func(ts int64) bool { return ts > snap && ts < overlayTSBase }}
+}
+
 // overlayTable indexes one table's pending mutations by row key, in the
 // same (key -> sorted cells) shape as a region memstore.
 type overlayTable struct {

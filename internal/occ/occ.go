@@ -1,0 +1,366 @@
+// Package occ is a backward-validation optimistic concurrency control layer
+// in the style of Larson et al., "High-Performance Concurrency Control
+// Mechanisms for Main-Memory Databases": transactions run lock-free against a
+// begin-timestamp snapshot, record their read set (point reads and scan
+// ranges) and write set as they execute, and validate at commit against the
+// write sets of transactions that committed while they ran. A transaction
+// whose read set overlaps a concurrently committed write set aborts — its
+// buffered writes are discarded unapplied — and the caller retries with
+// bounded backoff, the optimistic analogue of the lock path's contended
+// checkAndPut spin.
+//
+// The layer is built on the transaction-scoped write pipeline: a transaction
+// buffers every mutation in its BufferedMutator (nothing reaches the store
+// before validation passes, so an abort is a pure buffer discard) and reads
+// through the mutator's read-your-writes overlay. Snapshot isolation for
+// readers comes from the store's cell timestamps alone — no transaction
+// server sits on the read path, which is why OCC's per-statement overhead is
+// closer to hierarchical locking's than to the Tephra-like MVCC layer's
+// 800-900 ms (§IX-D4).
+package occ
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"synergy/internal/hbase"
+	"synergy/internal/sim"
+)
+
+// ErrConflict reports a validation failure at commit: the transaction read
+// data that a concurrently committed transaction wrote, so its execution is
+// not serializable after that commit. The transaction's buffered writes were
+// discarded; the caller may retry from a fresh snapshot.
+var ErrConflict = errors.New("occ: validation conflict")
+
+// ErrFinished reports use of a transaction after commit or abort.
+var ErrFinished = errors.New("occ: transaction already finished")
+
+// commitRec is the write set of one validated transaction, kept for backward
+// validation of transactions that overlapped it. start is the flush-start
+// watermark: every cell of the commit was stamped after it, so a snapshot
+// taken at or below start saw none of the commit's writes.
+type commitRec struct {
+	start  int64
+	writes map[string]struct{}
+}
+
+// Validator is the commit-time validation service. Unlike the MVCC layer's
+// transaction server it is not on the read path: Begin fetches one timestamp,
+// reads carry no per-cell filter closures, and only commit pays a validation
+// round trip.
+type Validator struct {
+	costs *sim.Costs
+	// next allocates begin timestamps and flush watermarks. Deployments
+	// share the store's timestamp oracle so snapshots order consistently
+	// against every cell stamp in the cluster.
+	next func() int64
+
+	mu sync.Mutex
+	// active tracks in-flight transactions; their snapshots bound how far
+	// back committed write sets must be retained.
+	active map[*Tx]struct{}
+	// flushing holds the flush-start watermarks of validated commits whose
+	// batch flush has not finished: new snapshots stay below them so no
+	// reader ever observes half of a multi-region commit.
+	flushing  map[int64]struct{}
+	committed []commitRec
+	// stats
+	begun, commits, aborts, conflicts int64
+}
+
+// NewValidator creates a standalone validator allocating timestamps from a
+// private counter (tests); deployments use NewValidatorWithOracle.
+func NewValidator(costs *sim.Costs) *Validator {
+	var ctr int64
+	return NewValidatorWithOracle(costs, func() int64 { ctr++; return ctr })
+}
+
+// NewValidatorWithOracle creates a validator drawing timestamps from the
+// given oracle — deployments pass the store's clock so begin snapshots line
+// up with every cell timestamp in the cluster.
+func NewValidatorWithOracle(costs *sim.Costs, next func() int64) *Validator {
+	if costs == nil {
+		costs = sim.DefaultCosts()
+	}
+	return &Validator{
+		costs:    costs,
+		next:     next,
+		active:   map[*Tx]struct{}{},
+		flushing: map[int64]struct{}{},
+	}
+}
+
+// Tx is one in-flight optimistic transaction: a begin-timestamp snapshot, a
+// read set accumulated by the tracking reader, and a write set accumulated
+// through phoenix.WriteOpts.OnWrite. All fields are owned by the
+// transaction's goroutine; the validator only touches them under its mutex
+// during Begin/Validate/Abort.
+type Tx struct {
+	v      *Validator
+	begin  int64 // oracle timestamp at begin
+	snap   int64 // snapshot horizon (<= begin, lowered by in-flight flushes)
+	rs     ReadSet
+	writes map[string]struct{}
+	// commitStart is the flush watermark allocated at validation; 0 until
+	// validated (or for read-only commits, which need no watermark).
+	commitStart int64
+	done        bool
+}
+
+// Begin starts a transaction: one oracle round trip for the begin timestamp.
+// The snapshot horizon is the begin timestamp lowered below the watermark of
+// any commit still flushing, so a half-applied commit is invisible in its
+// entirety rather than partially visible.
+func (v *Validator) Begin(ctx *sim.Ctx) *Tx {
+	ctx.Charge(v.costs.OCCBegin)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.begun++
+	begin := v.next()
+	t := &Tx{v: v, begin: begin, snap: v.horizonLocked(begin), writes: map[string]struct{}{}}
+	v.active[t] = struct{}{}
+	return t
+}
+
+// SnapshotTS returns a fresh read snapshot horizon without registering a
+// transaction: one oracle round trip. Read-only snapshot reads are
+// serializable as of their begin point and validate nothing, so they need no
+// registration — but they must still sit below the flush watermark of any
+// commit in flight, or they would observe half of a multi-region flush.
+func (v *Validator) SnapshotTS(ctx *sim.Ctx) int64 {
+	ctx.Charge(v.costs.OCCBegin)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.horizonLocked(v.next())
+}
+
+// horizonLocked lowers a begin timestamp below every in-flight flush
+// watermark. Caller holds v.mu.
+func (v *Validator) horizonLocked(begin int64) int64 {
+	snap := begin
+	for fs := range v.flushing {
+		if fs < snap {
+			snap = fs
+		}
+	}
+	return snap
+}
+
+// Snapshot reports the transaction's snapshot horizon: cells stamped above
+// it are invisible to the transaction's reads.
+func (t *Tx) Snapshot() int64 { return t.snap }
+
+// ReadOpts returns the snapshot visibility filter for the transaction's
+// reads: everything committed at or below the snapshot horizon, plus the
+// synthetic overlay timestamps of the transaction's own buffered writes.
+func (t *Tx) ReadOpts() hbase.ReadOpts { return hbase.SnapshotRead(t.snap) }
+
+// RecordWrite adds a row to the transaction's write set; it has the
+// signature of phoenix.WriteOpts.OnWrite.
+func (t *Tx) RecordWrite(table, rowKey string) {
+	t.writes[table+"\x00"+rowKey] = struct{}{}
+}
+
+// HasWrite reports whether a row is in the transaction's write set (tests
+// pin write-set completeness through it).
+func (t *Tx) HasWrite(table, rowKey string) bool {
+	_, ok := t.writes[table+"\x00"+rowKey]
+	return ok
+}
+
+// Track wraps a reader so every point get and scan range it serves lands in
+// the transaction's read set. Wrap the transaction's read-your-writes view
+// (or the plain store client) and thread the result through the SQL layer's
+// Reader options.
+func (t *Tx) Track(r hbase.Reader) hbase.Reader {
+	return &trackingReader{inner: r, rs: &t.rs}
+}
+
+// Validate is the first half of commit: backward validation against every
+// write set that committed after the transaction's snapshot. On success it
+// allocates the flush watermark, reserves the commit's cell timestamps by
+// running stampPending (when non-nil) against the oracle inside the same
+// critical section, and publishes the transaction's write set for future
+// validators; the caller then flushes the buffered mutations and calls
+// Finalize (or AbandonFlush if the flush failed). On conflict the
+// transaction is finished — the caller discards its buffer and may retry
+// from a fresh Begin.
+//
+// Stamping inside the critical section is what keeps commits atomic to
+// snapshots: every timestamp the validator ever hands out (begin snapshots,
+// watermarks, cell stamps) is allocated under the lock, so one commit's
+// stamp block can never straddle another transaction's snapshot horizon —
+// a snapshot sees all of a commit or none of it, and "fully visible" is
+// exactly "rec.start < snap".
+func (v *Validator) Validate(ctx *sim.Ctx, t *Tx, stampPending func(next func() int64) int) error {
+	ctx.Charge(v.costs.OCCValidate)
+	ctx.Charge(sim.Micros(int64(t.rs.Len()+len(t.writes)) * int64(v.costs.OCCValidatePerEntry)))
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.done {
+		return ErrFinished
+	}
+	delete(v.active, t)
+	for i := range v.committed {
+		rec := &v.committed[i]
+		if rec.start < t.snap {
+			continue // fully visible in our snapshot: not a conflict
+		}
+		if key, clash := t.rs.overlaps(rec.writes); clash {
+			t.done = true
+			v.aborts++
+			v.conflicts++
+			return fmt.Errorf("%w: read of %s overlaps a write committed after snapshot %d", ErrConflict, describeKey(key), t.snap)
+		}
+		// Blind write-write overlap (no read of the row, e.g. two
+		// concurrent upserts): also non-serializable under last-writer-
+		// wins flushing, so it aborts too.
+		for w := range t.writes {
+			if _, clash := rec.writes[w]; clash {
+				t.done = true
+				v.aborts++
+				v.conflicts++
+				return fmt.Errorf("%w: write of %s overlaps a write committed after snapshot %d", ErrConflict, describeKey(w), t.snap)
+			}
+		}
+	}
+	t.done = true
+	t.commitStart = 0
+	pending := 0
+	if len(t.writes) > 0 {
+		t.commitStart = v.next()
+		if stampPending != nil {
+			pending = stampPending(v.next)
+		}
+		v.flushing[t.commitStart] = struct{}{}
+		v.committed = append(v.committed, commitRec{start: t.commitStart, writes: t.writes})
+		v.gcLocked()
+	} else if stampPending != nil {
+		pending = stampPending(v.next)
+	}
+	if pending > 0 && len(t.writes) == 0 {
+		// Pending mutations with an empty write set would flush invisibly
+		// to validation; nothing in the write path produces this (quiet
+		// mutations only ever accompany recorded ones), but guard the
+		// invariant loudly rather than silently losing serializability.
+		// The transaction is already finished — the caller discards the
+		// buffer like any other failed commit.
+		return fmt.Errorf("occ: %d pending mutations with an empty write set", pending)
+	}
+	return nil
+}
+
+// AbandonFlush retires a validated commit whose flush failed. The batch
+// path resolves every table before applying any mutation, so a failed
+// flush applied nothing: the watermark is retired and the write set
+// published at validation is withdrawn — the dead commit neither pins
+// snapshot horizons nor causes false conflicts.
+func (v *Validator) AbandonFlush(ctx *sim.Ctx, t *Tx) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.commitStart != 0 {
+		delete(v.flushing, t.commitStart)
+		kept := v.committed[:0]
+		for _, rec := range v.committed {
+			if rec.start != t.commitStart {
+				kept = append(kept, rec)
+			}
+		}
+		tail := v.committed[len(kept):]
+		for i := range tail {
+			tail[i] = commitRec{}
+		}
+		v.committed = kept
+		t.commitStart = 0
+	}
+	v.aborts++
+}
+
+// Finalize is the second half of commit, called after the buffered mutations
+// flushed: the commit's flush watermark is retired, so new snapshots admit
+// its (now fully applied) writes.
+func (v *Validator) Finalize(ctx *sim.Ctx, t *Tx) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.commitStart != 0 {
+		delete(v.flushing, t.commitStart)
+		// The retired watermark may have been the only thing pinning this
+		// commit's write set (see gcLocked).
+		v.gcLocked()
+	}
+	v.commits++
+}
+
+// Abort finishes the transaction without validation. Nothing was flushed —
+// an optimistic transaction's writes live in its buffer until validation
+// passes — so there is no visibility cleanup of any kind.
+func (v *Validator) Abort(ctx *sim.Ctx, t *Tx) {
+	ctx.Charge(v.costs.RPC)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.done = true
+	delete(v.active, t)
+	v.aborts++
+}
+
+// gcLocked prunes committed write sets no active transaction can conflict
+// with: a record is kept while some active snapshot predates it — or while
+// its own flush is still in flight, because a transaction beginning inside
+// the flush window gets a snapshot at or below the watermark and will need
+// the record at validation (dropping it would let a stale read commit a
+// lost update). Caller holds v.mu.
+func (v *Validator) gcLocked() {
+	minSnap := int64(1<<62 - 1)
+	for t := range v.active {
+		if t.snap < minSnap {
+			minSnap = t.snap
+		}
+	}
+	for fs := range v.flushing {
+		if fs < minSnap {
+			minSnap = fs
+		}
+	}
+	kept := v.committed[:0]
+	for _, rec := range v.committed {
+		if rec.start >= minSnap {
+			kept = append(kept, rec)
+		}
+	}
+	tail := v.committed[len(kept):]
+	for i := range tail {
+		tail[i] = commitRec{}
+	}
+	v.committed = kept
+}
+
+// Stats reports validator counters.
+type Stats struct {
+	Begun, Commits, Aborts, Conflicts int64
+	RetainedWriteSets                 int
+}
+
+// Stats returns a snapshot of the validator counters.
+func (v *Validator) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return Stats{
+		Begun: v.begun, Commits: v.commits, Aborts: v.aborts, Conflicts: v.conflicts,
+		RetainedWriteSets: len(v.committed),
+	}
+}
+
+// describeKey renders a write-set key ("table\x00rowkey") readably.
+func describeKey(k string) string {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return fmt.Sprintf("%s/%q", k[:i], k[i+1:])
+		}
+	}
+	return fmt.Sprintf("%q", k)
+}

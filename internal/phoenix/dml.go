@@ -33,6 +33,12 @@ type WriteOpts struct {
 	// flushed. Flush/Discard lifecycle belongs to the transaction owner,
 	// not to the statement.
 	Mutator *hbase.BufferedMutator
+	// Reader, when set, overrides the read side of the write path: the
+	// read-before-write of UPDATE/DELETE and every maintenance read go
+	// through it instead of the Mutator's view. OCC transactions pass
+	// their read-set-tracking reader here so the GetRowVia choke point
+	// records every key the transaction's writes depended on.
+	Reader hbase.Reader
 }
 
 func (o WriteOpts) Notify(table, key string) {
@@ -172,8 +178,9 @@ func StampCells(cells []hbase.Cell, ts int64) []hbase.Cell {
 // instead of one RPC per mutation. Write-set notifications are recorded in
 // emission order and fire only after the statement's emission completes
 // (for an owned batch, after its flush lands); the Quiet variants skip
-// notification (dirty marks and index-key cleanup are not part of the MVCC
-// write set).
+// notification (dirty marks are not part of any write set — index-entry
+// moves, by contrast, notify: their tombstones are real writes the OCC
+// validator must see).
 //
 // A batch either owns a statement-scoped mutator (flushed by Flush at
 // statement end, the PR-2 pipeline) or borrows the transaction-scoped
@@ -195,10 +202,14 @@ func (e *Engine) NewWriteBatch(opts WriteOpts) *WriteBatch {
 	return &WriteBatch{m: e.client.NewBufferedMutator(opts.Sequential), owned: true, opts: opts}
 }
 
-// Reader returns the read side of a write: the transaction's overlay view
-// when a transaction-scoped mutator is present, the plain store client
-// otherwise. Reads through it see the transaction's own buffered writes.
+// Reader returns the read side of a write: an explicit tracking reader when
+// the options carry one, else the transaction's overlay view when a
+// transaction-scoped mutator is present, else the plain store client. Reads
+// through it see the transaction's own buffered writes.
 func (e *Engine) Reader(opts WriteOpts) hbase.Reader {
+	if opts.Reader != nil {
+		return opts.Reader
+	}
 	if opts.Mutator != nil {
 		return opts.Mutator.View()
 	}

@@ -52,6 +52,11 @@ type QueryOpts struct {
 	// scan and point lookup, so queries inside a multi-statement
 	// transaction read their own uncommitted rows.
 	View *hbase.ReadView
+	// Reader, when set, serves every scan and point lookup instead of View
+	// or the store client. OCC transactions thread their read-set-tracking
+	// reader (wrapping the overlay view) through it, so the openScan choke
+	// point records every range the query touched.
+	Reader hbase.Reader
 }
 
 // ResultSet is the client-visible output of a query.

@@ -105,10 +105,15 @@ func (q *query) localEqValue(b *binding, col string) (schema.Value, bool) {
 	return nil, false
 }
 
-// openScan opens a binding scan through the query's reader: the
-// transaction overlay view when one is set (read-your-writes), the plain
-// store client otherwise.
+// openScan opens a binding scan through the query's reader: an explicit
+// Reader when one is set (an OCC transaction's tracking view), else the
+// transaction overlay view (read-your-writes), else the plain store client.
+// Every table read of a query funnels through here, which is what makes it
+// the read-set capture choke point.
 func (q *query) openScan(ctx *sim.Ctx, tbl string, spec hbase.ScanSpec) (hbase.RowStream, error) {
+	if q.opts.Reader != nil {
+		return q.opts.Reader.OpenScan(ctx, tbl, spec)
+	}
 	if q.opts.View != nil {
 		return q.opts.View.OpenScan(ctx, tbl, spec)
 	}

@@ -110,6 +110,22 @@ type Costs struct {
 	MVCCBegin  Micros
 	MVCCCommit Micros
 
+	// OCCBegin is the begin-timestamp fetch of an optimistic transaction —
+	// one oracle round trip, the reason OCC's read path carries none of
+	// the Tephra server's snapshot-construction weight.
+	OCCBegin Micros
+	// OCCValidate is the fixed commit-time validation round trip (Larson
+	// et al. backward validation against recently committed write sets).
+	OCCValidate Micros
+	// OCCValidatePerEntry is the marginal validation cost per read-set or
+	// write-set entry compared at commit.
+	OCCValidatePerEntry Micros
+	// OCCMaxRetries bounds the validate-abort-retry loop of an optimistic
+	// transaction before the conflict surfaces to the caller; retries back
+	// off exponentially on the LockRetryBackoff schedule, like the lock
+	// path's contended spin.
+	OCCMaxRetries int
+
 	// NewSQLBase is the per-transaction cost of the VoltDB-like engine:
 	// client round trip, command-log group commit, K-safety replication.
 	NewSQLBase Micros
@@ -133,6 +149,26 @@ type Costs struct {
 	// DirtyRestartPenalty is charged when a scan observes a dirty-marked
 	// row and restarts (§VIII-C).
 	DirtyRestartPenalty Micros
+}
+
+// LockBackoff returns the simulated wait before retry number attempt
+// (0-based) of a contended spin: exponential from LockRetryBackoff, capped
+// at LockRetryBackoffMax (a zero cap keeps the historical fixed backoff).
+// The lock manager's contended acquire and the OCC validation-conflict
+// retry share this schedule.
+func (c *Costs) LockBackoff(attempt int) Micros {
+	d := c.LockRetryBackoff
+	max := c.LockRetryBackoffMax
+	if max <= 0 {
+		return d
+	}
+	for ; attempt > 0 && d < max; attempt-- {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 // PerByteCost is a cost expressed in simulated nanoseconds per byte, used
@@ -175,6 +211,11 @@ func DefaultCosts() *Costs {
 
 		MVCCBegin:  FromMillis(410),
 		MVCCCommit: FromMillis(440),
+
+		OCCBegin:            FromMillis(0.35),
+		OCCValidate:         FromMillis(0.5),
+		OCCValidatePerEntry: Micros(2),
+		OCCMaxRetries:       12,
 
 		NewSQLBase:           FromMillis(14),
 		NewSQLRow:            Micros(1),

@@ -65,6 +65,7 @@ type Ctx struct {
 	bytesMoved   atomic.Int64
 	locks        atomic.Int64
 	restarts     atomic.Int64
+	occRetries   atomic.Int64
 }
 
 // NewCtx returns a fresh request context with zero elapsed time.
@@ -115,6 +116,7 @@ func (c *Ctx) Join(children ...*Ctx) {
 		c.bytesMoved.Add(ch.bytesMoved.Load())
 		c.locks.Add(ch.locks.Load())
 		c.restarts.Add(ch.restarts.Load())
+		c.occRetries.Add(ch.occRetries.Load())
 	}
 	c.elapsed.Add(longest)
 }
@@ -128,6 +130,7 @@ func (c *Ctx) Reset() {
 	c.bytesMoved.Store(0)
 	c.locks.Store(0)
 	c.restarts.Store(0)
+	c.occRetries.Store(0)
 }
 
 // CountRPC records an RPC round trip (the latency is charged separately by
@@ -173,6 +176,14 @@ func (c *Ctx) CountRestart() {
 	}
 }
 
+// CountOCCRetry records one optimistic-transaction validation abort that
+// was retried from a fresh snapshot.
+func (c *Ctx) CountOCCRetry() {
+	if c != nil {
+		c.occRetries.Add(1)
+	}
+}
+
 // Stats is a snapshot of the work counters of a Ctx.
 type Stats struct {
 	RPCs         int64
@@ -181,6 +192,7 @@ type Stats struct {
 	BytesMoved   int64
 	Locks        int64
 	Restarts     int64
+	OCCRetries   int64
 	Elapsed      Micros
 }
 
@@ -196,6 +208,7 @@ func (c *Ctx) Snapshot() Stats {
 		BytesMoved:   c.bytesMoved.Load(),
 		Locks:        c.locks.Load(),
 		Restarts:     c.restarts.Load(),
+		OCCRetries:   c.occRetries.Load(),
 		Elapsed:      c.Elapsed(),
 	}
 }

@@ -9,9 +9,11 @@ import (
 	"synergy/internal/sqlparser"
 )
 
-// benchModes are the three write pipelines: eager per-mutation RPCs
-// (paper-faithful), one batch per statement (PR-2), and the transaction-
-// scoped mutator flushed at commit/phase barriers (default).
+// benchModes are the three write pipelines — eager per-mutation RPCs
+// (paper-faithful), one batch per statement (PR-2), the transaction-scoped
+// mutator flushed at commit/phase barriers (default) — plus the optimistic
+// concurrency mode, which rides the transaction-scoped pipeline with
+// commit-time validation instead of locks and dirty marks.
 var benchModes = []struct {
 	name string
 	cfg  Config
@@ -19,6 +21,7 @@ var benchModes = []struct {
 	{"sequential", Config{SequentialWrites: true}},
 	{"batched", Config{StatementFlush: true}},
 	{"txn", Config{}},
+	{"occ", Config{Concurrency: OCC, MaxVersions: 16}},
 }
 
 // BenchmarkMaintenanceWrite measures the maintenance-heavy write path: one

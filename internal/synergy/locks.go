@@ -85,21 +85,9 @@ func (lm *LockManager) AcquireWith(ctx *sim.Ctx, client *hbase.Client, root, key
 }
 
 // backoff returns the simulated wait before retry number attempt (0-based):
-// exponential from LockRetryBackoff, capped at LockRetryBackoffMax. A zero
-// cap keeps the historical fixed backoff.
+// the shared capped exponential schedule of Costs.LockBackoff.
 func (lm *LockManager) backoff(attempt int) sim.Micros {
-	d := lm.costs.LockRetryBackoff
-	max := lm.costs.LockRetryBackoffMax
-	if max <= 0 {
-		return d
-	}
-	for ; attempt > 0 && d < max; attempt-- {
-		d *= 2
-	}
-	if d > max {
-		d = max
-	}
-	return d
+	return lm.costs.LockBackoff(attempt)
 }
 
 func (lm *LockManager) acquire(ctx *sim.Ctx, client *hbase.Client, root, key string) error {

@@ -1,0 +1,350 @@
+package synergy
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"synergy/internal/hbase"
+	"synergy/internal/occ"
+	"synergy/internal/phoenix"
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+)
+
+// occConfig is the standard OCC deployment of the fanout fixture.
+var occConfig = Config{Concurrency: OCC, MaxVersions: 16}
+
+// TestOCCTxnMultiStatementParity: the full multi-statement transaction
+// workload (leaf inserts, a read-your-writes update, a delete, view
+// maintenance throughout) leaves the same visible state under OCC as under
+// hierarchical locking.
+func TestOCCTxnMultiStatementParity(t *testing.T) {
+	const views, rowsPer = 4, 6
+	stmts, params := txnWorkload(views)
+
+	hier := fanoutSystem(t, views, rowsPer, Config{})
+	if err := hier.ExecTxn(sim.NewCtx(), stmts, params); err != nil {
+		t.Fatal(err)
+	}
+	optimistic := fanoutSystem(t, views, rowsPer, occConfig)
+	if err := optimistic.ExecTxn(sim.NewCtx(), stmts, params); err != nil {
+		t.Fatal(err)
+	}
+	// Hierarchical leaves _dirty=0 cells behind (the un-mark phase writes
+	// them); OCC never marks at all. An off mark is semantically absent, so
+	// normalize it away before comparing.
+	requireSameState(t, stripDirtyOff(dropLockTables(dumpState(t, hier))),
+		stripDirtyOff(dropLockTables(dumpState(t, optimistic))))
+}
+
+// stripDirtyOff removes dirty-off marker cells from a state dump: a mark
+// that is off is semantically the same as a mark never written.
+func stripDirtyOff(state map[string][]string) map[string][]string {
+	out := map[string][]string{}
+	for tbl, rows := range state {
+		cleaned := make([]string, len(rows))
+		for i, r := range rows {
+			r = strings.ReplaceAll(r, " "+phoenix.DirtyQualifier+"=0", "")
+			r = strings.ReplaceAll(r, "{"+phoenix.DirtyQualifier+"=0}", "{}")
+			cleaned[i] = r
+		}
+		out[tbl] = cleaned
+	}
+	return out
+}
+
+// TestOCCValidationConflict pins the backward-validation contract at the
+// system level: a transaction that read a root row loses to a write on that
+// row committed while it ran, and its buffered writes (including view
+// maintenance) never reach the store.
+func TestOCCValidationConflict(t *testing.T) {
+	sys := fanoutSystem(t, 2, 4, occConfig)
+	up := sqlparser.MustParse("UPDATE Root SET RVal = ? WHERE RID = ?")
+
+	ctx := sim.NewCtx()
+	tx := sys.BeginTx(ctx)
+	if err := tx.Exec(ctx, up, []schema.Value{"loser", int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent transaction writes the same root row and commits first
+	// (through the WAL-logged transaction layer, with its own retry loop).
+	if err := sys.Exec(sim.NewCtx(), up, []schema.Value{"winner", int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); !errors.Is(err, occ.ErrConflict) {
+		t.Fatalf("commit after overlapping committed write = %v, want occ.ErrConflict", err)
+	}
+
+	// The winner's value (and its view maintenance) stands; the loser left
+	// nothing — no partial writes, no dirty marks.
+	sel := sys.Design.Workload.Selects()[0]
+	rs, err := sys.Query(sim.NewCtx(), sel, []schema.Value{"Leaf00-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("fixture query returned nothing")
+	}
+	for _, r := range rs.Rows {
+		if got := r["RVal"]; !schema.ValuesEqual(got, "winner") {
+			t.Fatalf("RVal = %v, want winner (view out of sync or loser leaked)", got)
+		}
+	}
+	requireNoDirtyMarks(t, sys)
+}
+
+// TestOCCRetryAfterInjectedConflict pins the ExecuteTxn retry loop
+// deterministically: the fault-injection hook commits a conflicting write
+// inside the first attempt's validation window, so attempt one must abort
+// on validation, the retry must run from a fresh snapshot, and exactly one
+// retry must be recorded — with the final state reflecting the retried
+// transaction over the interloper's.
+func TestOCCRetryAfterInjectedConflict(t *testing.T) {
+	sys := fanoutSystem(t, 4, 6, occConfig)
+	up := sqlparser.MustParse("UPDATE Root SET RVal = ? WHERE RID = ?")
+
+	injected := false
+	sys.occPostBegin = func() {
+		if injected {
+			return
+		}
+		injected = true
+		hook := sys.occPostBegin
+		sys.occPostBegin = nil // the interloper's own attempt must not recurse
+		defer func() { sys.occPostBegin = hook }()
+		if err := sys.ExecuteTxn(sim.NewCtx(), []sqlparser.Statement{up},
+			[][]schema.Value{{schema.Value("interloper"), int64(1)}}); err != nil {
+			t.Errorf("injected write: %v", err)
+		}
+	}
+
+	ctx := sim.NewCtx()
+	if err := sys.ExecTxn(ctx, []sqlparser.Statement{up},
+		[][]schema.Value{{schema.Value("final"), int64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	sys.occPostBegin = nil
+	if got := ctx.Snapshot().OCCRetries; got != 1 {
+		t.Fatalf("OCC retries = %d, want exactly 1 (conflict injected into attempt one only)", got)
+	}
+	st := sys.OCC.Stats()
+	if st.Conflicts != 1 {
+		t.Fatalf("validator conflicts = %d, want 1", st.Conflicts)
+	}
+	// The retried transaction committed over the interloper; views agree.
+	sel := sys.Design.Workload.Selects()[0]
+	rs, err := sys.Query(sim.NewCtx(), sel, []schema.Value{"Leaf00-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Fatal("fixture query returned nothing")
+	}
+	for _, r := range rs.Rows {
+		if got := r["RVal"]; !schema.ValuesEqual(got, "final") {
+			t.Fatalf("RVal = %v, want final (retry lost or view stale)", got)
+		}
+	}
+	requireNoDirtyMarks(t, sys)
+}
+
+// TestOCCConflictRetrySerializable: concurrent conflicting transactions
+// through System.ExecTxn all eventually commit — validation aborts are
+// absorbed by the bounded-backoff retry loop — and the validator's counters
+// balance: every begun writer either committed or was retried.
+func TestOCCConflictRetrySerializable(t *testing.T) {
+	sys := fanoutSystem(t, 2, 4, occConfig)
+	up := sqlparser.MustParse("UPDATE Root SET RVal = ? WHERE RID = ?")
+
+	const workers, perWorker = 6, 5
+	var wg sync.WaitGroup
+	var retries sync.Map
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine int64
+			for i := 0; i < perWorker; i++ {
+				ctx := sim.NewCtx()
+				// All workers hammer root row 1: every transaction reads
+				// the row (read-before-write + lock-chain walk) and
+				// writes it, so any overlap in flight is a conflict.
+				if err := sys.ExecTxn(ctx, []sqlparser.Statement{up},
+					[][]schema.Value{{schema.Value("w"), int64(1)}}); err != nil {
+					errs <- err
+					return
+				}
+				mine += ctx.Snapshot().OCCRetries
+			}
+			retries.Store(w, mine)
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("contended transaction failed despite retry: %v", err)
+	}
+
+	var totalRetries int64
+	retries.Range(func(_, v any) bool { totalRetries += v.(int64); return true })
+	st := sys.OCC.Stats()
+	if st.Commits != workers*perWorker {
+		t.Fatalf("validator commits = %d, want %d", st.Commits, workers*perWorker)
+	}
+	if st.Conflicts != totalRetries {
+		t.Fatalf("validator conflicts (%d) != observed retries (%d): an abort was not retried",
+			st.Conflicts, totalRetries)
+	}
+	requireNoDirtyMarks(t, sys)
+	t.Logf("commits=%d conflicts=%d retries=%d", st.Commits, st.Conflicts, totalRetries)
+}
+
+// TestOCCViewMaintenanceSurvivesConflictRetry: a multi-row view update that
+// loses validation leaves no dirty marks and no partial view state (OCC runs
+// the §VIII-B phases without marks and without barriers — nothing flushes
+// before validation), and a retried execution converges to the same state a
+// clean run produces.
+func TestOCCViewMaintenanceSurvivesConflictRetry(t *testing.T) {
+	sys := fanoutSystem(t, 4, 6, occConfig)
+	up := sqlparser.MustParse("UPDATE Root SET RVal = ? WHERE RID = ?")
+
+	// First attempt loses: a conflicting write commits mid-flight.
+	ctx := sim.NewCtx()
+	tx := sys.BeginTx(ctx)
+	if err := tx.Exec(ctx, up, []schema.Value{"retry-me", int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Exec(sim.NewCtx(), up, []schema.Value{"interloper", int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); !errors.Is(err, occ.ErrConflict) {
+		t.Fatalf("commit = %v, want occ.ErrConflict", err)
+	}
+	requireNoDirtyMarks(t, sys)
+
+	// The retry (fresh snapshot, whole transaction re-executed) succeeds.
+	if err := sys.ExecTxn(sim.NewCtx(), []sqlparser.Statement{up},
+		[][]schema.Value{{schema.Value("retry-me"), int64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same two committed updates on a fresh system.
+	ref := fanoutSystem(t, 4, 6, occConfig)
+	for _, v := range []string{"interloper", "retry-me"} {
+		if err := ref.Exec(sim.NewCtx(), up, []schema.Value{schema.Value(v), int64(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireSameState(t, dropLockTables(dumpState(t, ref)), dropLockTables(dumpState(t, sys)))
+	requireNoDirtyMarks(t, sys)
+}
+
+// TestOCCAbortedTxnNotReplayed mirrors TestAbortedTxnNotReplayed for OCC:
+// a transaction that fails writes an abort record under its txid, so WAL
+// recovery skips it and its buffered writes never resurrect.
+func TestOCCAbortedTxnNotReplayed(t *testing.T) {
+	sys := fanoutSystem(t, 2, 4, occConfig)
+	stmts := []sqlparser.Statement{
+		sqlparser.MustParse("INSERT INTO Leaf00 (Leaf00ID, Leaf00_RID, Leaf00Val) VALUES (?, ?, ?)"),
+		sqlparser.MustParse("INSERT INTO Nonexistent (X) VALUES (?)"),
+	}
+	params := [][]schema.Value{{int64(900), int64(1), "ghost"}, {int64(1)}}
+	if err := sys.ExecTxn(sim.NewCtx(), stmts, params); err == nil {
+		t.Fatal("transaction against missing table succeeded")
+	}
+
+	for _, s := range sys.Txn.Slaves() {
+		s.Kill()
+	}
+	if _, err := sys.Txn.DetectAndRecover(sim.NewCtx()); err != nil {
+		t.Fatalf("recovery replayed an aborted transaction: %v", err)
+	}
+	raw, err := sys.Engine.Client().Get(sim.NewCtx(), "Leaf00", schema.EncodeKey(int64(900)), hbase.ReadOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raw.Empty() {
+		t.Fatalf("aborted transaction's write resurrected by replay: %s", raw)
+	}
+}
+
+// TestOCCTxnGroupedReplay: a multi-statement OCC transaction logged but not
+// executed before a slave died replays as one transaction — the replay
+// validates like any other commit and lands the same state as a normal run.
+func TestOCCTxnGroupedReplay(t *testing.T) {
+	sys := fanoutSystem(t, 2, 4, occConfig)
+	slave := sys.Txn.Slaves()[0]
+	stmts, params := txnWorkload(2)
+
+	slave.KillBeforeNextExec()
+	if err := slave.ExecuteTxn(sim.NewCtx(), stmts, params); err == nil {
+		t.Fatal("expected mid-transaction crash")
+	}
+	if _, err := sys.Txn.DetectAndRecover(sim.NewCtx()); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := fanoutSystem(t, 2, 4, occConfig)
+	if err := ref.ExecTxn(sim.NewCtx(), stmts, params); err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, dumpState(t, ref), dumpState(t, sys))
+}
+
+// TestOCCMovedIndexTombstoneInWriteSet pins write-set completeness: when a
+// view-indexed column changes, the old index entry's tombstone must enter
+// the OCC write set — a quiet delete there would let a transaction that
+// scanned the old key's range validate as conflict-free against this one.
+func TestOCCMovedIndexTombstoneInWriteSet(t *testing.T) {
+	sys := fanoutSystem(t, 1, 4, occConfig)
+	viewInfo, err := sys.Catalog.Table(sys.Design.Views[0].Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewCtx()
+	oldRow, found, err := sys.Engine.GetRow(ctx, viewInfo, hbase.ReadOpts{}, int64(1))
+	if err != nil || !found {
+		t.Fatalf("fixture view row: found=%v err=%v", found, err)
+	}
+	newRow := oldRow.Clone()
+	newRow["Leaf00Val"] = "moved"
+
+	tx := sys.BeginTx(ctx)
+	if err := tx.Exec(ctx, sqlparser.MustParse("UPDATE Leaf00 SET Leaf00Val = ? WHERE Leaf00ID = ?"),
+		[]schema.Value{"moved", int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	movedKeys := 0
+	for _, idx := range viewInfo.Indexes {
+		oldKey := phoenix.IndexKey(viewInfo, idx, oldRow)
+		if phoenix.IndexKey(viewInfo, idx, newRow) == oldKey {
+			continue
+		}
+		movedKeys++
+		if !tx.occTx.HasWrite(idx.Name, oldKey) {
+			t.Errorf("moved index entry %s/%q: tombstone missing from the OCC write set", idx.Name, oldKey)
+		}
+	}
+	if movedKeys == 0 {
+		t.Fatal("fixture moved no index keys; the test asserts nothing")
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// requireNoDirtyMarks scans every table for a surviving dirty mark.
+func requireNoDirtyMarks(t *testing.T, sys *System) {
+	t.Helper()
+	for tbl, rows := range dumpState(t, sys) {
+		for _, r := range rows {
+			if strings.Contains(r, phoenix.DirtyQualifier+"=1") {
+				t.Fatalf("dirty mark present in %s: %s", tbl, r)
+			}
+		}
+	}
+}

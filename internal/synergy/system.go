@@ -13,6 +13,7 @@ import (
 	"synergy/internal/core"
 	"synergy/internal/hbase"
 	"synergy/internal/mvcc"
+	"synergy/internal/occ"
 	"synergy/internal/phoenix"
 	"synergy/internal/schema"
 	"synergy/internal/sdfs"
@@ -41,6 +42,15 @@ const (
 	// snapshot transaction server, as the MVCC-A, MVCC-UA and Baseline
 	// systems do (§IX-D2).
 	MVCC
+	// OCC keeps the Synergy transaction layer (WAL-logged slaves) but
+	// replaces the hierarchical locks with backward-validation optimistic
+	// concurrency control (Larson et al.): transactions run lock-free
+	// against a begin-timestamp snapshot, record read and write sets, and
+	// validate at commit — aborting and retrying with bounded backoff when
+	// a concurrently committed write set overlaps what they read. The
+	// third column of the contention comparison next to Hierarchical and
+	// MVCC.
+	OCC
 )
 
 // Config parameterizes system construction.
@@ -59,8 +69,8 @@ type Config struct {
 	DisableViews bool
 	// SplitThreshold overrides region split size (0 = store default).
 	SplitThreshold int
-	// Concurrency selects hierarchical locking (Synergy) or MVCC
-	// (Phoenix-Tephra style).
+	// Concurrency selects hierarchical locking (Synergy), MVCC
+	// (Phoenix-Tephra style) or OCC (backward validation).
 	Concurrency ConcurrencyMode
 	// SequentialWrites disables the batched mutation pipeline: every
 	// mutation of the write path pays its own RPC, as the pre-batching
@@ -87,6 +97,14 @@ type System struct {
 	Txn     *TxnLayer
 	// MVCCServer is the transaction server when Concurrency == MVCC.
 	MVCCServer *mvcc.Server
+	// OCC is the commit-time validation service when Concurrency == OCC.
+	OCC *occ.Validator
+
+	// occPostBegin is a test-only fault-injection hook (like the slave's
+	// kill-before-exec): when set, it runs after each OCC transaction
+	// attempt begins, so tests can commit a conflicting write inside the
+	// validation window deterministically.
+	occPostBegin func()
 
 	cfg Config
 }
@@ -168,7 +186,16 @@ func New(sch *schema.Schema, roots []string, workloadSQL []string, cfg Config) (
 		// (a fresh transaction must see the loaded database).
 		sys.MVCCServer = mvcc.NewServerWithOracle(cfg.Costs, store.NextTS)
 	} else {
+		// Hierarchical and OCC both route writes through the WAL-logged
+		// transaction layer: an OCC commit is durable exactly like a
+		// locked one (statements logged under one txid, the outcome as a
+		// commit or abort record), only the concurrency mechanism differs.
 		sys.Txn = NewTxnLayer(sys, cfg.Slaves)
+		if cfg.Concurrency == OCC {
+			// The validator shares the store's oracle so begin snapshots
+			// order consistently against every cell stamp.
+			sys.OCC = occ.NewValidatorWithOracle(cfg.Costs, store.NextTS)
+		}
 	}
 	return sys, nil
 }
@@ -351,10 +378,15 @@ func (sys *System) rewriteFor(sel *sqlparser.SelectStmt) *sqlparser.SelectStmt {
 // Query executes a read. Workload queries run their view-based rewrite;
 // reads go directly to the HBase layer (Figure 7). Under hierarchical
 // locking the dirty-read restart protocol guards view scans (§VIII-C); under
-// MVCC the read runs inside a snapshot transaction.
+// MVCC the read runs inside a snapshot transaction; under OCC it runs
+// against a begin-timestamp snapshot — read-only snapshot reads are
+// serializable as of their begin point and need no validation, and the
+// snapshot horizon hides commits still flushing, so no dirty marking is
+// needed either.
 func (sys *System) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (*phoenix.ResultSet, error) {
 	stmt := sys.rewriteFor(sel)
-	if sys.cfg.Concurrency == MVCC {
+	switch sys.cfg.Concurrency {
+	case MVCC:
 		tx := sys.MVCCServer.Begin(ctx)
 		rs, err := sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: tx.ReadOpts()})
 		if err != nil {
@@ -365,6 +397,8 @@ func (sys *System) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schem
 			return nil, cerr
 		}
 		return rs, nil
+	case OCC:
+		return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: hbase.SnapshotRead(sys.OCC.SnapshotTS(ctx))})
 	}
 	return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{DirtyCheck: true})
 }

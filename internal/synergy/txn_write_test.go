@@ -106,6 +106,7 @@ func TestTxnReadYourWrites(t *testing.T) {
 	}{
 		{"hierarchical", Config{}},
 		{"mvcc", Config{Concurrency: MVCC, MaxVersions: 16}},
+		{"occ", Config{Concurrency: OCC, MaxVersions: 16}},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
 			sys := fanoutSystem(t, 4, 6, mode.cfg)
@@ -171,6 +172,7 @@ func TestTxnDeleteThenReinsert(t *testing.T) {
 	}{
 		{"hierarchical", Config{}},
 		{"mvcc", Config{Concurrency: MVCC, MaxVersions: 16}},
+		{"occ", Config{Concurrency: OCC, MaxVersions: 16}},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
 			sys := fanoutSystem(t, 2, 4, mode.cfg)
@@ -204,6 +206,7 @@ func TestTxnAbortDiscards(t *testing.T) {
 	}{
 		{"hierarchical", Config{}},
 		{"mvcc", Config{Concurrency: MVCC, MaxVersions: 16}},
+		{"occ", Config{Concurrency: OCC, MaxVersions: 16}},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
 			sys := fanoutSystem(t, 4, 6, mode.cfg)

@@ -1,11 +1,13 @@
 package synergy
 
 import (
+	"errors"
 	"fmt"
 
 	"synergy/internal/core"
 	"synergy/internal/hbase"
 	"synergy/internal/mvcc"
+	"synergy/internal/occ"
 	"synergy/internal/phoenix"
 	"synergy/internal/schema"
 	"synergy/internal/sim"
@@ -145,7 +147,8 @@ type Tx struct {
 	sys     *System
 	opts    phoenix.WriteOpts
 	mutator *hbase.BufferedMutator // nil in per-statement / sequential modes
-	mvccTx  *mvcc.Tx               // nil under hierarchical locking
+	mvccTx  *mvcc.Tx               // nil unless Concurrency == MVCC
+	occTx   *occ.Tx                // nil unless Concurrency == OCC
 	lock    bool                   // hierarchical: root locks + dirty marks
 
 	locks   []lockRef
@@ -169,20 +172,35 @@ type markRef struct{ table, key string }
 // hierarchical locking the caller is normally the transaction layer, which
 // WAL-logs the statements around it; MVCC transactions need no logging.
 func (sys *System) BeginTx(ctx *sim.Ctx) *Tx {
-	tx := &Tx{sys: sys, lock: sys.cfg.Concurrency != MVCC}
-	if sys.cfg.Concurrency == MVCC {
+	tx := &Tx{sys: sys, lock: sys.cfg.Concurrency == Hierarchical}
+	switch sys.cfg.Concurrency {
+	case MVCC:
 		t := sys.MVCCServer.Begin(ctx)
 		tx.mvccTx = t
 		tx.opts = phoenix.WriteOpts{TS: t.ID(), Read: t.ReadOpts(), OnWrite: t.RecordWrite, Sequential: sys.cfg.SequentialWrites}
-	} else {
+	case OCC:
+		t := sys.OCC.Begin(ctx)
+		tx.occTx = t
+		tx.opts = phoenix.WriteOpts{Read: t.ReadOpts(), OnWrite: t.RecordWrite}
+	default:
 		tx.opts = phoenix.WriteOpts{Sequential: sys.cfg.SequentialWrites}
 	}
 	// SequentialWrites (eager per-mutation RPCs) and StatementFlush
 	// (PR-2-style statement-scoped batches) both keep the per-statement
-	// pipeline; otherwise the transaction owns the mutator.
-	if !sys.cfg.SequentialWrites && !sys.cfg.StatementFlush {
+	// pipeline; otherwise the transaction owns the mutator. OCC has no
+	// per-statement variant: nothing may reach the store before validation
+	// passes, so the transaction-scoped mutator is mandatory and the two
+	// pipeline knobs are ignored.
+	if sys.cfg.Concurrency == OCC || (!sys.cfg.SequentialWrites && !sys.cfg.StatementFlush) {
 		tx.mutator = sys.Engine.Client().NewTxMutator()
 		tx.opts.Mutator = tx.mutator
+	}
+	if tx.occTx != nil {
+		// Every read of the write path (read-before-write, lock-chain
+		// walks, view-maintenance locates, query scans) goes through the
+		// tracking reader, so the read set is complete — including scan
+		// ranges, which is what catches phantom-shaped conflicts.
+		tx.opts.Reader = tx.occTx.Track(tx.mutator.View())
 	}
 	return tx
 }
@@ -209,12 +227,32 @@ func (tx *Tx) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value
 // Commit flushes every buffered mutation as one region-grouped batch round,
 // finishes the MVCC transaction when present, and releases the held locks —
 // writes become visible before the locks free, preserving the §VIII
-// protocol.
+// protocol. An OCC transaction validates first: only a commit whose read
+// set survived backward validation flushes anything, and a conflict returns
+// occ.ErrConflict with the buffer discarded untouched.
 func (tx *Tx) Commit(ctx *sim.Ctx) error {
 	if tx.done {
 		return fmt.Errorf("synergy: transaction already finished")
 	}
 	tx.done = true
+	if tx.occTx != nil {
+		// Validation reserves the commit's cell timestamps (StampPending
+		// runs inside the validator's critical section) so the flushed
+		// cells form one atomic block under every snapshot horizon.
+		if err := tx.sys.OCC.Validate(ctx, tx.occTx, tx.mutator.StampPending); err != nil {
+			tx.mutator.Discard()
+			return err
+		}
+		// The validator holds new snapshots below the flush watermark
+		// until Finalize, so nobody observes a half-applied commit; a
+		// failed flush (which applies nothing) withdraws the commit.
+		if err := tx.mutator.Flush(ctx); err != nil {
+			tx.sys.OCC.AbandonFlush(ctx, tx.occTx)
+			return err
+		}
+		tx.sys.OCC.Finalize(ctx, tx.occTx)
+		return nil
+	}
 	if tx.mutator != nil {
 		if err := tx.mutator.Flush(ctx); err != nil {
 			if tx.mvccTx != nil {
@@ -251,6 +289,11 @@ func (tx *Tx) Abort(ctx *sim.Ctx) error {
 	}
 	if tx.mvccTx != nil {
 		tx.sys.MVCCServer.Abort(ctx, tx.mvccTx)
+	}
+	if tx.occTx != nil {
+		// Nothing flushed (OCC runs no phase barriers), nothing marked,
+		// nothing locked: the abort is a pure buffer discard.
+		tx.sys.OCC.Abort(ctx, tx.occTx)
 	}
 	if err := tx.releaseLocks(ctx); err != nil && first == nil {
 		first = err
@@ -368,13 +411,40 @@ func (sys *System) ExecuteWrite(ctx *sim.Ctx, stmt sqlparser.Statement, params [
 // a marked multi-row update's phase barriers flush everything buffered so
 // far, and there is no undo log — an abort after such a barrier keeps that
 // flushed work durable (under MVCC it is invisible instead, via the
-// invalidated transaction id). The transaction layer calls this after
-// WAL-logging; use System.ExecTxn to route through it.
+// invalidated transaction id). Under OCC a validation conflict retries the
+// whole transaction from a fresh snapshot with capped exponential backoff —
+// the optimistic mirror of the lock path's contended spin — before
+// surfacing occ.ErrConflict; a retried attempt re-executes every statement,
+// and an aborted attempt has flushed nothing (OCC runs no phase barriers),
+// so retry leaves no dirty marks and no partial state. The transaction
+// layer calls this after WAL-logging; use System.ExecTxn to route through
+// it.
 func (sys *System) ExecuteTxn(ctx *sim.Ctx, stmts []sqlparser.Statement, paramsList [][]schema.Value) error {
 	if len(stmts) != len(paramsList) {
 		return fmt.Errorf("synergy: %d statements, %d parameter lists", len(stmts), len(paramsList))
 	}
+	maxRetries := sys.cfg.Costs.OCCMaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 1
+	}
+	for attempt := 0; ; attempt++ {
+		err := sys.executeTxnOnce(ctx, stmts, paramsList)
+		if err == nil || !errors.Is(err, occ.ErrConflict) || attempt+1 >= maxRetries {
+			return err
+		}
+		ctx.CountOCCRetry()
+		// Conflict retries back off on the lock path's capped exponential
+		// schedule before re-running from a fresh snapshot.
+		ctx.Charge(sys.cfg.Costs.LockBackoff(attempt))
+	}
+}
+
+// executeTxnOnce runs one attempt of the transaction.
+func (sys *System) executeTxnOnce(ctx *sim.Ctx, stmts []sqlparser.Statement, paramsList [][]schema.Value) error {
 	tx := sys.BeginTx(ctx)
+	if tx.occTx != nil && sys.occPostBegin != nil {
+		sys.occPostBegin()
+	}
 	for i, stmt := range stmts {
 		if err := tx.Exec(ctx, stmt, paramsList[i]); err != nil {
 			// A failed abort (un-mark or lock release) must surface too:
@@ -651,7 +721,12 @@ func (sys *System) maintainUpdate(ctx *sim.Ctx, tx *Tx, action core.ViewAction, 
 				updatedRefs = append(updatedRefs, markRef{idx.Name, newKey})
 			}
 			if oldKey != newKey {
-				if err := batch.DeleteQuiet(ctx, idx.Name, oldKey, opts.TS); err != nil {
+				// The old entry's tombstone is a real write: it must be in
+				// the transaction's write set (phoenix.UpdateRow notifies
+				// its moved base-index deletes the same way), or OCC
+				// validation would admit a transaction that scanned the old
+				// key's range as conflict-free.
+				if err := batch.Delete(ctx, idx.Name, oldKey, opts.TS); err != nil {
 					return err
 				}
 				cells := putCells(phoenix.IndexRowContent(viewInfo, idx, updated))
