@@ -11,6 +11,13 @@
 //
 //	go run ./cmd/benchjson -compare BENCH_baseline.json BENCH.json -tolerance 1.5x
 //
+// allocs/op is guarded alongside it (default tolerance 1.25x, override
+// with -alloc-tolerance), so allocation wins stay pinned the same way
+// latency wins do. Allocation counts are deterministic for a fixed Go
+// toolchain; small-count benchmarks (under allocFloor allocations) are
+// exempt from the ratio check because a single extra allocation would trip
+// it.
+//
 // Benchmark names are matched with their -<GOMAXPROCS> suffix stripped, so a
 // baseline recorded on an 8-core machine guards a 4-core CI runner.
 // Benchmarks present only in the new report pass (new coverage); benchmarks
@@ -48,12 +55,20 @@ func main() {
 	// flag order (`-compare old new -tolerance 1.5x`).
 	var compare []string
 	tolerance := 1.5
+	allocTolerance := 1.25
 	args := os.Args[1:]
+	parseRatio := func(flag, val string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(val, "x"), 64)
+		if err != nil || v < 1 {
+			fatal(fmt.Sprintf("bad %s %q: want a ratio >= 1 like 1.5x", flag, val))
+		}
+		return v
+	}
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-compare", "--compare":
 			if len(args) < i+3 {
-				fatal("usage: benchjson -compare old.json new.json [-tolerance 1.5x]")
+				fatal("usage: benchjson -compare old.json new.json [-tolerance 1.5x] [-alloc-tolerance 1.25x]")
 			}
 			compare = []string{args[i+1], args[i+2]}
 			i += 2
@@ -61,22 +76,24 @@ func main() {
 			if len(args) < i+2 {
 				fatal("-tolerance needs a value (e.g. 1.5x)")
 			}
-			v, err := strconv.ParseFloat(strings.TrimSuffix(args[i+1], "x"), 64)
-			if err != nil || v < 1 {
-				fatal(fmt.Sprintf("bad tolerance %q: want a ratio >= 1 like 1.5x", args[i+1]))
+			tolerance = parseRatio("tolerance", args[i+1])
+			i++
+		case "-alloc-tolerance", "--alloc-tolerance":
+			if len(args) < i+2 {
+				fatal("-alloc-tolerance needs a value (e.g. 1.25x)")
 			}
-			tolerance = v
+			allocTolerance = parseRatio("alloc-tolerance", args[i+1])
 			i++
 		case "-h", "--help":
 			fmt.Fprintln(os.Stderr, "usage: benchjson < bench.txt > BENCH.json")
-			fmt.Fprintln(os.Stderr, "       benchjson -compare old.json new.json [-tolerance 1.5x]")
+			fmt.Fprintln(os.Stderr, "       benchjson -compare old.json new.json [-tolerance 1.5x] [-alloc-tolerance 1.25x]")
 			return
 		default:
 			fatal(fmt.Sprintf("unknown argument %q", args[i]))
 		}
 	}
 	if compare != nil {
-		os.Exit(runCompare(compare[0], compare[1], tolerance))
+		os.Exit(runCompare(compare[0], compare[1], tolerance, allocTolerance))
 	}
 	runConvert()
 }
@@ -133,15 +150,26 @@ func runConvert() {
 	}
 }
 
-// simMetric is the compared unit: simulated latency is deterministic for a
-// given tree, so any movement is a real code-path change, not machine noise.
+// simMetric is the primary compared unit: simulated latency is
+// deterministic for a given tree, so any movement is a real code-path
+// change, not machine noise.
 const simMetric = "sim-ms/op"
+
+// allocMetric is the secondary guard: allocation counts are reproducible
+// for a fixed toolchain, so a past-tolerance climb is a real hot-path
+// representation change.
+const allocMetric = "allocs/op"
 
 // regressFloor ignores regressions below this absolute sim-ms delta:
 // sub-10µs benchmarks can legally wobble by a charge quantum.
 const regressFloor = 0.01
 
-func runCompare(oldPath, newPath string, tolerance float64) int {
+// allocFloor exempts benchmarks below this allocation count from the ratio
+// check — one incidental allocation on a 20-alloc benchmark is not a
+// hot-path regression.
+const allocFloor = 500
+
+func runCompare(oldPath, newPath string, tolerance, allocTolerance float64) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -159,8 +187,9 @@ func runCompare(oldPath, newPath string, tolerance float64) int {
 
 	compared, regressions := 0, 0
 	for _, ob := range oldRep.Benchmarks {
-		oldSim, ok := ob.Metrics[simMetric]
-		if !ok {
+		oldSim, hasSim := ob.Metrics[simMetric]
+		oldAllocs, hasAllocs := ob.Metrics[allocMetric]
+		if !hasSim && !hasAllocs {
 			continue
 		}
 		name := normalizeName(ob.Name)
@@ -169,20 +198,39 @@ func runCompare(oldPath, newPath string, tolerance float64) int {
 			fmt.Fprintf(os.Stderr, "benchjson: warning: %s missing from %s (baseline stale?)\n", name, newPath)
 			continue
 		}
-		newSim, ok := nb.Metrics[simMetric]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: warning: %s lost its %s metric\n", name, simMetric)
-			continue
+		counted := false
+		if hasSim {
+			newSim, ok := nb.Metrics[simMetric]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s lost its %s metric\n", name, simMetric)
+			} else {
+				compared++
+				counted = true
+				if oldSim > 0 && newSim > oldSim*tolerance && newSim-oldSim > regressFloor {
+					regressions++
+					fmt.Printf("REGRESSION %-60s %10.3f -> %10.3f %s (%.2fx > %.2fx tolerance)\n",
+						name, oldSim, newSim, simMetric, newSim/oldSim, tolerance)
+				}
+			}
 		}
-		compared++
-		if oldSim > 0 && newSim > oldSim*tolerance && newSim-oldSim > regressFloor {
-			regressions++
-			fmt.Printf("REGRESSION %-60s %10.3f -> %10.3f %s (%.2fx > %.2fx tolerance)\n",
-				name, oldSim, newSim, simMetric, newSim/oldSim, tolerance)
+		if hasAllocs && oldAllocs >= allocFloor {
+			newAllocs, ok := nb.Metrics[allocMetric]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s lost its %s metric\n", name, allocMetric)
+				continue
+			}
+			if !counted {
+				compared++
+			}
+			if newAllocs > oldAllocs*allocTolerance {
+				regressions++
+				fmt.Printf("REGRESSION %-60s %10.0f -> %10.0f %s (%.2fx > %.2fx tolerance)\n",
+					name, oldAllocs, newAllocs, allocMetric, newAllocs/oldAllocs, allocTolerance)
+			}
 		}
 	}
-	fmt.Printf("benchjson: compared %d benchmarks on %s, %d regression(s) past %.2fx\n",
-		compared, simMetric, regressions, tolerance)
+	fmt.Printf("benchjson: compared %d benchmarks on %s + %s, %d regression(s) past %.2fx/%.2fx\n",
+		compared, simMetric, allocMetric, regressions, tolerance, allocTolerance)
 	if regressions > 0 {
 		return 1
 	}

@@ -8,7 +8,7 @@
 //	synergy-bench -experiment all -cust 1000 -reps 10
 //	synergy-bench -experiment fig10 -scales 500,5000,50000
 //	synergy-bench -experiment table3 -cust 2000
-//	synergy-bench -experiment contention -hotrows 1,4,16 -workers 8 -ops 50
+//	synergy-bench -experiment contention -hotrows 1,4,16 -workers 8 -rounds 50 -ops 10
 package main
 
 import (
@@ -31,12 +31,13 @@ func main() {
 		locks      = flag.String("locks", "10,100,1000", "Figure 11 lock counts")
 		hotRows    = flag.String("hotrows", "1,4,16", "contention sweep hot-row counts")
 		workers    = flag.Int("workers", 4, "contention sweep concurrent workers")
-		ops        = flag.Int("ops", 25, "contention sweep updates per worker")
+		rounds     = flag.Int("rounds", 25, "contention sweep waves per cell")
+		ops        = flag.Int("ops", 1, "contention sweep statements per transaction")
 	)
 	flag.Parse()
 
 	if err := run(*experiment, *cust, *reps, *seed, parseInts(*scales), parseInts(*locks),
-		parseInts(*hotRows), *workers, *ops); err != nil {
+		parseInts(*hotRows), *workers, *rounds, *ops); err != nil {
 		fmt.Fprintln(os.Stderr, "synergy-bench:", err)
 		os.Exit(1)
 	}
@@ -59,7 +60,7 @@ func parseInts(csv string) []int {
 	return out
 }
 
-func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows []int, workers, ops int) error {
+func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows []int, workers, rounds, ops int) error {
 	needSystems := map[string]bool{"fig12": true, "fig14": true, "table2": true, "table3": true, "all": true}
 	var set *bench.SystemSet
 	if needSystems[experiment] {
@@ -113,7 +114,7 @@ func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows [
 		fmt.Println(bench.Figure13Matrix())
 	}
 	if want("contention") {
-		res, err := bench.RunContention(hotRows, workers, ops, seed, nil)
+		res, err := bench.RunContention(hotRows, workers, rounds, ops, seed, nil)
 		if err != nil {
 			return err
 		}

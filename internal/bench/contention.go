@@ -57,8 +57,13 @@ func (c ContentionCell) AbortRate() float64 {
 // per concurrency mode.
 type ContentionResult struct {
 	Workers, Rounds int
-	HotRows         []int
-	Cells           map[int]map[string]ContentionCell // hotRows -> mode -> cell
+	// Ops is the number of UPDATE statements each transaction executes.
+	// Longer transactions shift the OCC-vs-locking balance: an OCC conflict
+	// loser re-executes all Ops statements, while a lock queue amortizes
+	// its one-time spin over them — the crossover the PR-4 notes predicted.
+	Ops     int
+	HotRows []int
+	Cells   map[int]map[string]ContentionCell // hotRows -> mode -> cell
 }
 
 // contentionSchema is a Root with a materialized Root-Leaf view, the fanout
@@ -131,11 +136,15 @@ func buildContentionSystem(mode synergy.ConcurrencyMode, hotRows, leavesPerRoot 
 }
 
 // RunContention runs the Figure-13-style contention sweep: rounds of
-// `workers` transactions updating root rows drawn from a shrinking hot set,
-// under each of the three concurrency mechanisms. Fewer hot rows mean more
-// same-row overlap: hierarchical locking serializes behind the root lock
-// (the losers' latency inflates with backoff), while MVCC and OCC abort the
-// overlapped transactions at commit and retry them (abort rate climbs).
+// `workers` transactions, each executing `ops` root updates on rows drawn
+// from a shrinking hot set, under each of the three concurrency mechanisms.
+// Fewer hot rows mean more same-row overlap: hierarchical locking
+// serializes behind the root lock (the losers' latency inflates with
+// backoff), while MVCC and OCC abort the overlapped transactions at commit
+// and retry them (abort rate climbs). Raising ops lengthens transactions:
+// an optimistic loser re-executes every statement on retry while a lock
+// queue pays its spin once, which is where the abort-rate/latency
+// crossover between OCC and hierarchical lives.
 //
 // The harness is deterministic: each round is a wave of `workers`
 // simultaneous arrivals. The optimistic modes never block, so the wave
@@ -148,7 +157,7 @@ func buildContentionSystem(mode synergy.ConcurrencyMode, hotRows, leavesPerRoot 
 // production write path pays, calibrated per system; MVCC, as in the
 // paper's systems, runs client-side against the Tephra-like server with no
 // transaction layer.
-func RunContention(hotRows []int, workers, rounds int, seed int64, costs *sim.Costs) (*ContentionResult, error) {
+func RunContention(hotRows []int, workers, rounds, ops int, seed int64, costs *sim.Costs) (*ContentionResult, error) {
 	if len(hotRows) == 0 {
 		hotRows = []int{1, 4, 16}
 	}
@@ -158,11 +167,14 @@ func RunContention(hotRows []int, workers, rounds int, seed int64, costs *sim.Co
 	if rounds <= 0 {
 		rounds = 25
 	}
+	if ops <= 0 {
+		ops = 1
+	}
 	if costs == nil {
 		costs = sim.DefaultCosts()
 	}
 	res := &ContentionResult{
-		Workers: workers, Rounds: rounds, HotRows: hotRows,
+		Workers: workers, Rounds: rounds, Ops: ops, HotRows: hotRows,
 		Cells: map[int]map[string]ContentionCell{},
 	}
 	for _, hr := range hotRows {
@@ -174,9 +186,9 @@ func RunContention(hotRows []int, workers, rounds int, seed int64, costs *sim.Co
 			}
 			var cell ContentionCell
 			if m.Mode == synergy.Hierarchical {
-				cell, err = runLockingCell(sys, hr, workers, rounds, seed, costs)
+				cell, err = runLockingCell(sys, hr, workers, rounds, ops, seed, costs)
 			} else {
-				cell, err = runOptimisticCell(sys, m.Mode, hr, workers, rounds, seed, costs)
+				cell, err = runOptimisticCell(sys, m.Mode, hr, workers, rounds, ops, seed, costs)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("contention %s/%d hot rows: %w", m.Name, hr, err)
@@ -188,18 +200,30 @@ func RunContention(hotRows []int, workers, rounds int, seed int64, costs *sim.Co
 	return res, nil
 }
 
+// drawRows picks a transaction's ops root rows from the hot set.
+func drawRows(rng *rand.Rand, hotRows, ops int) []int64 {
+	rows := make([]int64, ops)
+	for i := range rows {
+		rows[i] = int64(rng.Intn(hotRows) + 1)
+	}
+	return rows
+}
+
 var contentionUpdate = sqlparser.MustParse("UPDATE Root SET RVal = ? WHERE RID = ?")
 
 // runLockingCell drives the hierarchical system through the same waves of
 // simultaneous arrivals as the optimistic cells, modeling the lock queue
-// deterministically: within a wave, transactions on the same root row
-// serialize behind its lock, and arrival k is charged the lock manager's
-// exact contended-spin schedule — one failed checkAndPut round trip plus
-// capped exponential backoff per attempt — until the k predecessors' hold
-// time (their own execution) has elapsed. The transactions then execute
-// uncontended, so the stored state matches a serial run while the latency
-// carries the queueing cost a real overlapped wave pays.
-func runLockingCell(sys *synergy.System, hotRows, workers, rounds int, seed int64, costs *sim.Costs) (ContentionCell, error) {
+// deterministically: within a wave, transactions on the same root rows
+// serialize behind those rows' locks, and an arrival is charged the lock
+// manager's exact contended-spin schedule — one failed checkAndPut round
+// trip plus capped exponential backoff per attempt — until its most
+// contended row's predecessors (whose holds overlap) have committed. The
+// transactions then execute uncontended, so the stored state matches a
+// serial run while the latency carries the queueing cost a real overlapped
+// wave pays. Multi-statement transactions (ops > 1) hold every touched
+// row's lock until commit, so each updated row's release time advances to
+// the whole transaction's completion.
+func runLockingCell(sys *synergy.System, hotRows, workers, rounds, ops int, seed int64, costs *sim.Costs) (ContentionCell, error) {
 	rng := rand.New(rand.NewSource(seed))
 	samples := make([]sim.Micros, 0, workers*rounds)
 	for r := 0; r < rounds; r++ {
@@ -207,29 +231,47 @@ func runLockingCell(sys *synergy.System, hotRows, workers, rounds int, seed int6
 		// row's lock frees for the next arrival.
 		release := map[int64]sim.Micros{}
 		for w := 0; w < workers; w++ {
-			row := int64(rng.Intn(hotRows) + 1)
+			rows := drawRows(rng, hotRows, ops)
+			// Locks are held to commit, so the arrival queues behind the
+			// latest-releasing of its rows; spins on the others overlap it.
+			var gate sim.Micros
+			for _, row := range rows {
+				if release[row] > gate {
+					gate = release[row]
+				}
+			}
 			ctx := sim.NewCtx()
-			// Spin until the predecessors holding this row's lock commit:
+			// Spin until the predecessors holding the gating lock commit:
 			// the schedule the contended Acquire loop charges.
 			var waited sim.Micros
-			for attempt := 0; waited < release[row]; attempt++ {
+			for attempt := 0; waited < gate; attempt++ {
 				ctx.Charge(costs.RPC + costs.CheckAndPut) // failed checkAndPut
 				b := costs.LockBackoff(attempt)
 				if b <= 0 {
 					// Degenerate schedule (zero backoff): wait out the
 					// holder directly instead of spinning forever.
-					ctx.Charge(release[row] - waited)
+					ctx.Charge(gate - waited)
 					break
 				}
 				ctx.Charge(b)
 				waited += b
 			}
+			// Execute uncontended through the full production path: the
+			// WAL-logged transaction layer, one transaction, ops statements.
 			hold := sim.NewCtx()
-			if err := sys.Exec(hold, contentionUpdate,
-				[]schema.Value{fmt.Sprintf("r%d-w%d", r, w), row}); err != nil {
+			stmts := make([]sqlparser.Statement, len(rows))
+			paramsList := make([][]schema.Value, len(rows))
+			for i, row := range rows {
+				stmts[i] = contentionUpdate
+				paramsList[i] = []schema.Value{fmt.Sprintf("r%d-w%d-s%d", r, w, i), row}
+			}
+			if err := sys.ExecTxn(hold, stmts, paramsList); err != nil {
 				return ContentionCell{}, err
 			}
-			release[row] += hold.Elapsed()
+			done := gate + hold.Elapsed()
+			for _, row := range rows {
+				release[row] = done
+			}
 			ctx.Join(hold)
 			samples = append(samples, ctx.Elapsed())
 		}
@@ -238,10 +280,11 @@ func runLockingCell(sys *synergy.System, hotRows, workers, rounds int, seed int6
 }
 
 // runOptimisticCell drives an MVCC or OCC system in deterministic waves:
-// all of a round's transactions begin and buffer their update before any
-// commits, so every same-row pair overlaps; the first commit wins and the
-// rest abort at conflict detection and re-run solo.
-func runOptimisticCell(sys *synergy.System, mode synergy.ConcurrencyMode, hotRows, workers, rounds int, seed int64, costs *sim.Costs) (ContentionCell, error) {
+// all of a round's transactions begin and buffer their ops updates before
+// any commits, so every same-row pair overlaps; the first commit wins and
+// the rest abort at conflict detection and re-run solo — re-executing
+// every statement, which is what makes long transactions expensive to lose.
+func runOptimisticCell(sys *synergy.System, mode synergy.ConcurrencyMode, hotRows, workers, rounds, ops int, seed int64, costs *sim.Costs) (ContentionCell, error) {
 	rng := rand.New(rand.NewSource(seed))
 	samples := make([]sim.Micros, 0, workers*rounds)
 	var conflicts, retries int64
@@ -274,17 +317,26 @@ func runOptimisticCell(sys *synergy.System, mode synergy.ConcurrencyMode, hotRow
 		}
 	}
 
+	execAll := func(ctx *sim.Ctx, tx *synergy.Tx, r, w int, rows []int64) error {
+		for i, row := range rows {
+			if err := tx.Exec(ctx, contentionUpdate,
+				[]schema.Value{fmt.Sprintf("r%d-w%d-s%d", r, w, i), row}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	for r := 0; r < rounds; r++ {
 		ctxs := make([]*sim.Ctx, workers)
 		txs := make([]*synergy.Tx, workers)
-		rows := make([]int64, workers)
+		rows := make([][]int64, workers)
 		for w := 0; w < workers; w++ {
-			rows[w] = int64(rng.Intn(hotRows) + 1)
+			rows[w] = drawRows(rng, hotRows, ops)
 			ctxs[w] = sim.NewCtx()
 			ctxs[w].Charge(layer) // once per transaction; internal retries re-log nothing
 			txs[w] = sys.BeginTx(ctxs[w])
-			if err := txs[w].Exec(ctxs[w], contentionUpdate,
-				[]schema.Value{fmt.Sprintf("r%d-w%d", r, w), rows[w]}); err != nil {
+			if err := execAll(ctxs[w], txs[w], r, w, rows[w]); err != nil {
 				return ContentionCell{}, err
 			}
 		}
@@ -295,17 +347,21 @@ func runOptimisticCell(sys *synergy.System, mode synergy.ConcurrencyMode, hotRow
 					return ContentionCell{}, err
 				}
 				// Conflict loser: back off on the shared capped
-				// exponential schedule and re-run the transaction alone
-				// on the same request context, exactly like the synergy
-				// transaction layer's bounded-backoff retry.
+				// exponential schedule and re-run the whole transaction —
+				// every statement — alone on the same request context,
+				// exactly like the synergy transaction layer's
+				// bounded-backoff retry.
 				conflicts++
 				retries++
 				ctxs[w].CountOCCRetry()
 				ctxs[w].Charge(costs.LockBackoff(attempt))
 				tx := sys.BeginTx(ctxs[w])
-				if err = tx.Exec(ctxs[w], contentionUpdate,
-					[]schema.Value{fmt.Sprintf("r%d-w%d", r, w), rows[w]}); err == nil {
+				if err = execAll(ctxs[w], tx, r, w, rows[w]); err == nil {
 					err = tx.Commit(ctxs[w])
+				} else if isConflict(err) {
+					// A statement-level conflict (MVCC write-write) still
+					// needs the buffered work discarded before re-running.
+					_ = tx.Abort(ctxs[w])
 				}
 			}
 			samples = append(samples, ctxs[w].Elapsed())
@@ -326,8 +382,8 @@ func isConflict(err error) bool {
 // mechanisms matrix made quantitative along a contention axis.
 func RenderContention(r *ContentionResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Contention sweep: %d rounds x %d overlapping root updates (ms/txn; abort%% = conflicts per commit attempt)\n",
-		r.Rounds, r.Workers)
+	fmt.Fprintf(&b, "Contention sweep: %d rounds x %d overlapping transactions x %d root updates each (ms/txn; abort%% = conflicts per commit attempt)\n",
+		r.Rounds, r.Workers, r.Ops)
 	fmt.Fprintf(&b, "%-10s", "hot rows")
 	for _, m := range ContentionModes {
 		fmt.Fprintf(&b, " %30s", m.Name)

@@ -11,7 +11,7 @@ import (
 // the MVCC and OCC columns carry latency no lower than their uncontended
 // cells (retries and backoff cannot make transactions cheaper).
 func TestContentionSweepShape(t *testing.T) {
-	res, err := RunContention([]int{1, 8}, 4, 10, 1, nil)
+	res, err := RunContention([]int{1, 8}, 4, 10, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,5 +64,55 @@ func TestContentionSweepShape(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestContentionMultiStatementSweep pins the -ops dimension: every
+// transaction of a long sweep really executes all its statements (latency
+// grows with ops in every mode), losers abort-and-retry whole transactions
+// (the conflict structure on one hot row is independent of ops — same
+// overlap, same losers — but each retry redoes ops statements), and the
+// sweep answers the PR-4 crossover question. The answer it measures:
+// hierarchical does NOT overtake OCC under deterministic solo-retry waves —
+// a lock-queue arrival waits out every predecessor's full (ops-scaled)
+// hold, while an optimistic loser re-executes the transaction once — so
+// OCC's relative edge widens rather than shrinks as transactions lengthen.
+// The assertion pins that direction; if the retry model ever changes to
+// re-contend (herd retries), this is the test to revisit.
+func TestContentionMultiStatementSweep(t *testing.T) {
+	short, err := RunContention([]int{1}, 4, 6, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := RunContention([]int{1}, 4, 6, 8, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Ops != 1 || long.Ops != 8 {
+		t.Fatalf("ops recorded as %d and %d, want 1 and 8", short.Ops, long.Ops)
+	}
+	for _, m := range ContentionModes {
+		s, l := short.Cells[1][m.Name], long.Cells[1][m.Name]
+		if s.Txns != 4*6 || l.Txns != 4*6 {
+			t.Errorf("%s: committed %d/%d txns, want 24/24", m.Name, s.Txns, l.Txns)
+		}
+		if l.Mean.Mean <= s.Mean.Mean {
+			t.Errorf("%s: 8-statement txns (%.2fms) not costlier than 1-statement (%.2fms)",
+				m.Name, l.Mean.Mean, s.Mean.Mean)
+		}
+	}
+	// One hot row: row draws are all row 1, so overlap — and therefore the
+	// abort structure — is identical at any ops; only the redo cost grows.
+	for _, mode := range []string{"MVCC", "OCC"} {
+		s, l := short.Cells[1][mode], long.Cells[1][mode]
+		if s.Conflicts == 0 || l.Conflicts != s.Conflicts {
+			t.Errorf("%s conflicts: ops=1 %d, ops=8 %d; want equal and nonzero", mode, s.Conflicts, l.Conflicts)
+		}
+	}
+	ratio := func(r *ContentionResult) float64 {
+		return r.Cells[1]["OCC"].Mean.Mean / r.Cells[1]["Hierarchical"].Mean.Mean
+	}
+	if rs, rl := ratio(short), ratio(long); rl >= rs {
+		t.Errorf("no crossover expected under solo-retry waves: OCC/hierarchical ratio ops=1 %.3f -> ops=8 %.3f should fall", rs, rl)
 	}
 }

@@ -1,0 +1,166 @@
+package hbase
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"synergy/internal/sim"
+)
+
+// readRefMap is the retired map-based rowData.read, kept verbatim as the
+// reference model for the sorted-slice representation: both read the same
+// cell index, so any divergence is a bug in the slice path (or a broken
+// sort invariant feeding it).
+func readRefMap(r *rowData, opts ReadOpts) map[string][]byte {
+	if len(r.cells) == 0 {
+		return nil
+	}
+	var rowDelTS int64 = -1
+	for _, c := range r.cells {
+		if c.Qualifier != "" {
+			break
+		}
+		if c.Type == TypeDeleteRow && opts.visible(c.TS) {
+			rowDelTS = c.TS
+			break
+		}
+	}
+	var out map[string][]byte
+	i := 0
+	for i < len(r.cells) {
+		q := r.cells[i].Qualifier
+		j := i
+		for j < len(r.cells) && r.cells[j].Qualifier == q {
+			j++
+		}
+		if q != "" && opts.wantsColumn(q) {
+			for k := i; k < j; k++ {
+				c := r.cells[k]
+				if !opts.visible(c.TS) {
+					continue
+				}
+				if c.Type == TypeDeleteCol {
+					break
+				}
+				if c.TS <= rowDelTS {
+					break
+				}
+				if out == nil {
+					out = map[string][]byte{}
+				}
+				out[q] = c.Value
+				break
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// requireCellsMatchRef fails unless the slice read equals the reference map
+// read: same qualifiers, same values, strictly sorted.
+func requireCellsMatchRef(t testing.TB, where string, got Cells, want map[string][]byte) {
+	t.Helper()
+	if !got.sortedOK() {
+		t.Fatalf("%s: Cells not strictly sorted: %v", where, got)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, reference has %d (%v vs %v)", where, len(got), len(want), got, want)
+	}
+	for _, p := range got {
+		if !bytes.Equal(p.Value, want[p.Qualifier]) {
+			t.Fatalf("%s: %s = %q, reference %q", where, p.Qualifier, p.Value, want[p.Qualifier])
+		}
+	}
+}
+
+// TestSliceMapParityStoreDump sweeps the whole scan fixture — multi-region,
+// multi-file, memstore overlays, tombstones — and checks every row the
+// store can materialize against the reference map read, under plain,
+// snapshot and column-projected options.
+func TestSliceMapParityStoreDump(t *testing.T) {
+	hc, c := buildScanFixture(t, 2000, 5)
+	optsList := map[string]ReadOpts{
+		"plain":     {},
+		"snapshot":  {ReadTS: 3},
+		"projected": {Columns: []string{"v"}},
+		"excluded":  {Excluded: func(ts int64) bool { return ts%2 == 0 }},
+	}
+	t1, err := hc.lookup("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range optsList {
+		// Every key ever written lives at k%06d for i in [0, 2000).
+		for i := 0; i < 2000; i++ {
+			key := scanKey(i)
+			r := t1.regionFor(key)
+			r.mu.RLock()
+			rd := r.lookupLocked(key)
+			var want map[string][]byte
+			if rd != nil {
+				want = readRefMap(rd, opts)
+			}
+			r.mu.RUnlock()
+			got, err := c.Get(sim.NewCtx(), "t", key, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireCellsMatchRef(t, fmt.Sprintf("%s %s", name, key), got.Cells, want)
+		}
+	}
+	// The scan path must materialize the same rows as the point-get path.
+	sc, err := c.Scan(sim.NewCtx(), "t", ScanSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sim.NewCtx()
+	for {
+		row, ok := sc.Next(ctx)
+		if !ok {
+			break
+		}
+		point, err := c.Get(sim.NewCtx(), "t", row.Key, ReadOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row.Cells) != len(point.Cells) {
+			t.Fatalf("scan row %q has %d pairs, point get %d", row.Key, len(row.Cells), len(point.Cells))
+		}
+		for j := range row.Cells {
+			if row.Cells[j].Qualifier != point.Cells[j].Qualifier || !bytes.Equal(row.Cells[j].Value, point.Cells[j].Value) {
+				t.Fatalf("scan/get divergence at %q pair %d", row.Key, j)
+			}
+		}
+	}
+}
+
+// TestSortedQualifiersView pins the small-fix satellite: SortedQualifiers
+// and String are single passes over the already-sorted pairs, and mutating
+// the returned qualifier slice must not corrupt the row.
+func TestSortedQualifiersView(t *testing.T) {
+	row := RowResult{Key: "k", Cells: Cells{
+		{Qualifier: "a", Value: []byte("1")},
+		{Qualifier: "b", Value: []byte("2")},
+		{Qualifier: "c", Value: []byte("3")},
+	}}
+	quals := row.SortedQualifiers()
+	if len(quals) != 3 || quals[0] != "a" || quals[2] != "c" {
+		t.Fatalf("SortedQualifiers = %v", quals)
+	}
+	quals[0] = "zzz" // caller-owned; the row must be unaffected
+	if string(row.Get("a")) != "1" {
+		t.Fatal("mutating SortedQualifiers result corrupted the row")
+	}
+	if got, want := row.String(), "k{a=1 b=2 c=3}"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	var empty RowResult
+	if empty.SortedQualifiers() != nil {
+		t.Fatal("empty row should have nil qualifiers")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = row.Cells.Get("b") }); allocs != 0 {
+		t.Fatalf("Cells.Get allocates %v per call, want 0", allocs)
+	}
+}

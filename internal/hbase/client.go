@@ -29,6 +29,24 @@ type Client struct {
 	// Mutation buffers on maintenance-heavy statements.
 	overlayPool sync.Pool
 	otPool      sync.Pool
+
+	// pool is the client's shared scatter-gather scan pool (lazily built;
+	// guarded by mu). All of the client's parallel scans draw region-fetch
+	// workers from it, modeling Phoenix's global thread pool: a client's
+	// total in-flight region fetches never exceed Costs.ScanParallelism,
+	// however many scanners are open.
+	pool *scanPool
+}
+
+// sharedScanPool returns the client's scan pool, creating it at
+// Costs.ScanParallelism workers on first use.
+func (c *Client) sharedScanPool() *scanPool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pool == nil {
+		c.pool = newScanPool(c.hc.costs.ScanParallelism)
+	}
+	return c.pool
 }
 
 // getMutBuf returns an empty Mutation buffer, reusing a flushed one when
@@ -228,8 +246,16 @@ type ScanSpec struct {
 	Limit  int    // max rows returned; 0 = unlimited
 	Read   ReadOpts
 	// Filter drops rows server-side; dropped rows are examined but not
-	// shipped (HBase filter pushdown).
+	// shipped (HBase filter pushdown). Filters must be pure row predicates:
+	// a transaction's read-your-writes view evaluates the same filter both
+	// server-side (store rows with no pending mutations) and client-side
+	// (rows merged with pending cells).
 	Filter func(RowResult) bool
+	// FilterMergedOnly marks the filter as safe only over fully merged
+	// rows: a read-your-writes view then keeps it entirely client-side
+	// instead of pushing the store-safe split down. Plain store scans
+	// ignore it (there is nothing to merge).
+	FilterMergedOnly bool
 	// Batch overrides the scanner caching (rows per RPC).
 	Batch int
 	// Sequential forces region-at-a-time draining even when the scan
@@ -306,7 +332,16 @@ func (c *Client) Scan(ctx *sim.Ctx, tbl string, spec ScanSpec) (*Scanner, error)
 			par = c.hc.costs.ScanParallelism
 		}
 		if par > 1 {
-			s.par = startParScan(ctx, s, par)
+			// Scans ride the client's shared pool; an explicit Parallelism
+			// override gets a private pool of that size (per-query pool
+			// sizing, outside the shared cap).
+			var pool *scanPool
+			if spec.Parallelism > 0 {
+				pool = newScanPool(spec.Parallelism)
+			} else {
+				pool = c.sharedScanPool()
+			}
+			s.par = startParScan(ctx, s, pool)
 		}
 	}
 	return s, nil

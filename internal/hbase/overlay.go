@@ -119,18 +119,15 @@ func rowTombstoned(rd *rowData, opts ReadOpts) bool {
 // transaction-stamped) sorts at or above them — so the standard rowData
 // version merge resolves precedence: pending row tombstones hide the store
 // row, pending column tombstones hide their qualifier, pending puts win.
-func overlayRow(key string, pending *rowData, base map[string][]byte, opts ReadOpts) RowResult {
+// The base pairs arrive already sorted by qualifier (every RowResult is),
+// so the re-injection is a straight copy with no sort.
+func overlayRow(key string, pending *rowData, base Cells, opts ReadOpts) RowResult {
 	if len(base) == 0 {
 		return RowResult{Key: key, Cells: pending.read(opts)}
 	}
-	quals := make([]string, 0, len(base))
-	for q := range base {
-		quals = append(quals, q)
-	}
-	sort.Strings(quals)
-	bcells := make([]Cell, len(quals))
-	for i, q := range quals {
-		bcells[i] = Cell{Qualifier: q, Value: base[q]}
+	bcells := make([]Cell, len(base))
+	for i, p := range base {
+		bcells[i] = Cell{Qualifier: p.Qualifier, Value: p.Value}
 	}
 	return RowResult{Key: key, Cells: merged(pending, &rowData{cells: bcells}).read(opts)}
 }
@@ -171,10 +168,17 @@ func (v *ReadView) Get(ctx *sim.Ctx, tbl, key string, opts ReadOpts) (RowResult,
 
 // OpenScan opens a key-ordered scan that folds the pending rows for the
 // table into the store stream. Tables with no pending mutations in range
-// pass straight through to the store scanner; otherwise the server-side
-// filter and limit move client-side (the filter must see merged rows), with
-// the store limit padded by the pending-key count so pending deletes can
-// never starve a bounded scan.
+// pass straight through to the store scanner.
+//
+// Filters split into a store-safe part and a merged-row part (the ROADMAP
+// predicate-split follow-up): a row whose key has no pending mutations
+// merges to exactly its store image, so the filter may drop it server-side
+// (HBase pushdown preserved); rows whose keys carry pending cells are
+// exempted from the pushed filter — the store must ship them so the client
+// can filter the merged row. Filters must therefore be pure row predicates,
+// which every SQL-layer filter is; a stateful or representation-sensitive
+// filter opts out with ScanSpec.FilterMergedOnly and runs exclusively
+// client-side over merged rows, the pre-split behavior.
 func (v *ReadView) OpenScan(ctx *sim.Ctx, tbl string, spec ScanSpec) (RowStream, error) {
 	ot := v.m.pendingTable(tbl)
 	var keys []string
@@ -187,14 +191,31 @@ func (v *ReadView) OpenScan(ctx *sim.Ctx, tbl string, spec ScanSpec) (RowStream,
 	}
 	inner := spec
 	inner.Filter = nil
+	pushed := false
+	if spec.Filter != nil && !spec.FilterMergedOnly {
+		pend := make(map[string]struct{}, len(keys))
+		for _, k := range keys {
+			pend[k] = struct{}{}
+		}
+		f := spec.Filter
+		inner.Filter = func(r RowResult) bool {
+			if _, hasPending := pend[r.Key]; hasPending {
+				return true // must reach the client for the merged-row check
+			}
+			return f(r)
+		}
+		pushed = true
+	}
 	if spec.Limit > 0 {
-		if spec.Filter != nil {
-			// The store cannot know which rows the merged-row filter will
-			// keep; scan unbounded and trim client-side.
+		if spec.Filter != nil && !pushed {
+			// The store cannot know which rows the merged-row-only filter
+			// will keep; scan unbounded and trim client-side.
 			inner.Limit = 0
 		} else {
-			// Each pending key can hide at most one store row, so Limit +
-			// pending suffices to produce Limit merged rows (or exhaust).
+			// Each pending key can hide at most one store row (and, with a
+			// pushed filter, is the only kind of shipped row that can still
+			// fail it), so Limit + pending suffices to produce Limit merged
+			// rows (or exhaust).
 			inner.Limit = spec.Limit + len(keys)
 		}
 	}
@@ -202,24 +223,28 @@ func (v *ReadView) OpenScan(ctx *sim.Ctx, tbl string, spec ScanSpec) (RowStream,
 	if err != nil {
 		return nil, err
 	}
-	return &overlayScanner{store: sc, spec: spec, ot: ot, keys: keys}, nil
+	return &overlayScanner{store: sc, spec: spec, ot: ot, keys: keys, pushed: pushed}, nil
 }
 
 // overlayScanner merges one table's pending rows into the store stream in
 // key order, applying the original spec's filter and limit to the merged
-// rows.
+// rows. When the filter was pushed to the store (pushed), pure store rows
+// already passed it server-side and only pending-merged rows are
+// re-checked client-side.
 type overlayScanner struct {
-	store *Scanner
-	spec  ScanSpec
-	ot    *overlayTable
-	keys  []string
-	ki    int
+	store  *Scanner
+	spec   ScanSpec
+	ot     *overlayTable
+	keys   []string
+	ki     int
+	pushed bool
 
-	srow  RowResult
-	shave bool // srow holds an unconsumed store row
-	sdone bool
-	sent  int
-	done  bool
+	srow   RowResult
+	shave  bool // srow holds an unconsumed store row
+	sdone  bool
+	merged bool // last step() row involved pending cells
+	sent   int
+	done   bool
 }
 
 // Next returns the next merged row. ok is false when the scan is exhausted.
@@ -233,7 +258,7 @@ func (s *overlayScanner) Next(ctx *sim.Ctx) (RowResult, bool) {
 			s.done = true
 			return RowResult{}, false
 		}
-		if s.spec.Filter != nil && !s.spec.Filter(row) {
+		if s.spec.Filter != nil && (!s.pushed || s.merged) && !s.spec.Filter(row) {
 			continue
 		}
 		s.sent++
@@ -245,7 +270,8 @@ func (s *overlayScanner) Next(ctx *sim.Ctx) (RowResult, bool) {
 	}
 }
 
-// step yields the next merged row before filter/limit are applied.
+// step yields the next merged row before filter/limit are applied, marking
+// whether it was built from pending cells (s.merged).
 func (s *overlayScanner) step(ctx *sim.Ctx) (RowResult, bool) {
 	for {
 		if !s.shave && !s.sdone {
@@ -258,7 +284,7 @@ func (s *overlayScanner) step(ctx *sim.Ctx) (RowResult, bool) {
 		if s.ki < len(s.keys) && (!s.shave || s.keys[s.ki] <= s.srow.Key) {
 			key := s.keys[s.ki]
 			s.ki++
-			var base map[string][]byte
+			var base Cells
 			if s.shave && s.srow.Key == key {
 				base = s.srow.Cells
 				s.shave = false
@@ -267,10 +293,12 @@ func (s *overlayScanner) step(ctx *sim.Ctx) (RowResult, bool) {
 			if len(res.Cells) == 0 {
 				continue // pending delete (or invisible pending row)
 			}
+			s.merged = true
 			return res, true
 		}
 		if s.shave {
 			s.shave = false
+			s.merged = false
 			return s.srow, true
 		}
 		if s.sdone {

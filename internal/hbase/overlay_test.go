@@ -248,6 +248,108 @@ func TestOverlayScanFilterSeesMergedRows(t *testing.T) {
 	}
 }
 
+// TestOverlayFilterPushdownParity is the predicate-split contract: with
+// pending writes in range, a filtered overlay scan must return the same
+// rows whether the store-safe split pushes down (default), the filter runs
+// merged-row-only (FilterMergedOnly), or the scan happens after the flush
+// against the plain store — including rows whose pending cells flip the
+// filter verdict in either direction, with and without a limit.
+func TestOverlayFilterPushdownParity(t *testing.T) {
+	_, c, m := overlayFixture(t)
+	ctx := sim.NewCtx()
+	mustDo := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stored rows 0..18 (even) carry v=stored-N. Pending: row 2 flips to a
+	// passing value, row 4 flips a passing stored value away, row 5 is a
+	// pending-only insert that passes, row 6 is deleted, row 8's filter
+	// column is untouched but another column changes.
+	filter := func(r RowResult) bool { return string(r.Get("v")) == "keep" }
+	mustDo(c.Put(ctx, "t", scanKey(4), []Cell{put("v", "keep", 0)}))
+	mustDo(c.Put(ctx, "t", scanKey(8), []Cell{put("v", "keep", 0)}))
+	mustDo(c.Put(ctx, "t", scanKey(12), []Cell{put("v", "keep", 0)}))
+	mustDo(m.Put(ctx, "t", scanKey(2), []Cell{put("v", "keep", 0)}))
+	mustDo(m.Put(ctx, "t", scanKey(4), []Cell{put("v", "not-any-more", 0)}))
+	mustDo(m.Put(ctx, "t", scanKey(5), []Cell{put("v", "keep", 0)}))
+	mustDo(m.Delete(ctx, "t", scanKey(12), 0))
+	mustDo(m.Put(ctx, "t", scanKey(8), []Cell{put("w", "other-column", 0)}))
+
+	for _, limit := range []int{0, 2} {
+		pushSpec := ScanSpec{Filter: filter, Limit: limit}
+		mergedSpec := ScanSpec{Filter: filter, Limit: limit, FilterMergedOnly: true}
+		sc1, err := m.View().OpenScan(ctx, "t", pushSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pushed := drainStream(ctx, sc1)
+		sc2, err := m.View().OpenScan(ctx, "t", mergedSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clientSide := drainStream(ctx, sc2)
+		requireSameRows(t, clientSide, pushed)
+		want := []string{scanKey(2), scanKey(5), scanKey(8)}
+		if limit > 0 {
+			want = want[:limit]
+		}
+		if len(pushed) != len(want) {
+			t.Fatalf("limit=%d: got %d rows, want %v", limit, len(pushed), want)
+		}
+		for i, k := range want {
+			if pushed[i].Key != k {
+				t.Fatalf("limit=%d row %d = %q, want %q", limit, i, pushed[i].Key, k)
+			}
+		}
+	}
+
+	// Post-flush, the plain store must agree with what the overlay served.
+	sc, err := m.View().OpenScan(ctx, "t", ScanSpec{Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := drainStream(ctx, sc)
+	mustDo(m.Flush(ctx))
+	sc3, err := c.Scan(ctx, "t", ScanSpec{Filter: filter, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRows(t, sc3.All(ctx), before)
+}
+
+// TestOverlayPushdownSavesShipping pins that the split actually restores
+// pushdown: with pending rows present, the pushed variant must ship fewer
+// rows from the store than the merged-only variant (which disables the
+// server-side filter entirely).
+func TestOverlayPushdownSavesShipping(t *testing.T) {
+	_, _, m := overlayFixture(t)
+	ctx := sim.NewCtx()
+	if err := m.Put(ctx, "t", scanKey(3), []Cell{put("v", "keep", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	filter := func(r RowResult) bool { return string(r.Get("v")) == "keep" }
+
+	run := func(spec ScanSpec) sim.Stats {
+		c := sim.NewCtx()
+		sc, err := m.View().OpenScan(c, "t", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainStream(c, sc)
+		return c.Snapshot()
+	}
+	pushed := run(ScanSpec{Filter: filter})
+	mergedOnly := run(ScanSpec{Filter: filter, FilterMergedOnly: true})
+	if pushed.RowsScanned != mergedOnly.RowsScanned {
+		t.Fatalf("both variants must examine every row server-side: %d vs %d", pushed.RowsScanned, mergedOnly.RowsScanned)
+	}
+	if pushed.RowsReturned >= mergedOnly.RowsReturned {
+		t.Fatalf("pushdown shipped %d rows, merged-only %d; the split should ship fewer", pushed.RowsReturned, mergedOnly.RowsReturned)
+	}
+}
+
 // MVCC-stamped pending cells honor the snapshot read options, exactly as
 // they will once flushed.
 func TestOverlaySnapshotVisibility(t *testing.T) {

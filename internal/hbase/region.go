@@ -159,7 +159,7 @@ func (r *Region) checkAndPut(key, qualifier string, expected []byte, c Cell) boo
 	defer r.mu.Unlock()
 	var current []byte
 	if rd := r.lookupLocked(key); rd != nil {
-		current = rd.read(ReadOpts{})[qualifier]
+		current = rd.read(ReadOpts{}).Get(qualifier)
 	}
 	if !bytes.Equal(current, expected) {
 		return false
@@ -176,7 +176,7 @@ func (r *Region) increment(key, qualifier string, delta int64, ts int64) int64 {
 	defer r.mu.Unlock()
 	var cur int64
 	if rd := r.lookupLocked(key); rd != nil {
-		if v := rd.read(ReadOpts{})[qualifier]; len(v) == 8 {
+		if v := rd.read(ReadOpts{}).Get(qualifier); len(v) == 8 {
 			cur = int64(binary.BigEndian.Uint64(v))
 		}
 	}

@@ -52,8 +52,9 @@ func (r *rowData) apply(c Cell, maxVersions int) {
 
 // read materializes the latest visible value per qualifier, honoring
 // tombstones and the read options' version filters. Returns nil when no cell
-// is visible (row absent).
-func (r *rowData) read(opts ReadOpts) map[string][]byte {
+// is visible (row absent). The cell index is sorted ascending by qualifier,
+// so the produced pair slice is born sorted — no consumer ever re-sorts.
+func (r *rowData) read(opts ReadOpts) Cells {
 	if len(r.cells) == 0 {
 		return nil
 	}
@@ -69,10 +70,12 @@ func (r *rowData) read(opts ReadOpts) map[string][]byte {
 		}
 	}
 
-	// The map is allocated only once a visible cell is found, so fully
+	// The slice is allocated only once a visible cell is found, so fully
 	// tombstoned or invisible rows cost no allocation; it is presized to
-	// the remaining qualifier-group count so wide rows never rehash.
-	var out map[string][]byte
+	// the remaining qualifier-group count so wide rows never regrow. One
+	// allocation per visible row — the map representation paid two (header
+	// + buckets) and lost the qualifier order.
+	var out Cells
 	i := 0
 	for i < len(r.cells) {
 		q := r.cells[i].Qualifier
@@ -93,9 +96,9 @@ func (r *rowData) read(opts ReadOpts) map[string][]byte {
 					break // hidden by row tombstone
 				}
 				if out == nil {
-					out = make(map[string][]byte, r.qualifiersFrom(i))
+					out = make(Cells, 0, r.qualifiersFrom(i))
 				}
-				out[q] = c.Value
+				out = append(out, Pair{Qualifier: q, Value: c.Value})
 				break
 			}
 		}

@@ -15,8 +15,8 @@ func TestRowDataLatestWins(t *testing.T) {
 	rd.apply(put("a", "v1", 1), 3)
 	rd.apply(put("a", "v2", 2), 3)
 	got := rd.read(ReadOpts{})
-	if string(got["a"]) != "v2" {
-		t.Fatalf("read = %q, want v2", got["a"])
+	if string(got.Get("a")) != "v2" {
+		t.Fatalf("read = %q, want v2", got.Get("a"))
 	}
 }
 
@@ -28,8 +28,8 @@ func TestRowDataVersionTrim(t *testing.T) {
 	if n := len(rd.cells); n != 2 {
 		t.Fatalf("retained %d versions, want 2", n)
 	}
-	if got := rd.read(ReadOpts{}); string(got["a"]) != "v5" {
-		t.Fatalf("latest = %q, want v5", got["a"])
+	if got := rd.read(ReadOpts{}); string(got.Get("a")) != "v5" {
+		t.Fatalf("latest = %q, want v5", got.Get("a"))
 	}
 }
 
@@ -38,8 +38,8 @@ func TestRowDataSnapshotRead(t *testing.T) {
 	rd.apply(put("a", "old", 5), 10)
 	rd.apply(put("a", "new", 9), 10)
 	got := rd.read(ReadOpts{ReadTS: 7})
-	if string(got["a"]) != "old" {
-		t.Fatalf("snapshot@7 = %q, want old", got["a"])
+	if string(got.Get("a")) != "old" {
+		t.Fatalf("snapshot@7 = %q, want old", got.Get("a"))
 	}
 }
 
@@ -48,8 +48,8 @@ func TestRowDataExcludedVersions(t *testing.T) {
 	rd.apply(put("a", "committed", 5), 10)
 	rd.apply(put("a", "aborted", 8), 10)
 	got := rd.read(ReadOpts{Excluded: func(ts int64) bool { return ts == 8 }})
-	if string(got["a"]) != "committed" {
-		t.Fatalf("read with exclusion = %q, want committed", got["a"])
+	if string(got.Get("a")) != "committed" {
+		t.Fatalf("read with exclusion = %q, want committed", got.Get("a"))
 	}
 }
 
@@ -64,7 +64,7 @@ func TestRowDataRowTombstone(t *testing.T) {
 	// A put newer than the tombstone is visible again.
 	rd.apply(put("a", "reborn", 7), 10)
 	got := rd.read(ReadOpts{})
-	if string(got["a"]) != "reborn" || got["b"] != nil {
+	if string(got.Get("a")) != "reborn" || got.Get("b") != nil {
 		t.Fatalf("read = %v, want only a=reborn", got)
 	}
 }
@@ -75,7 +75,7 @@ func TestRowDataColumnTombstone(t *testing.T) {
 	rd.apply(put("b", "w", 1), 10)
 	rd.apply(Cell{Qualifier: "a", TS: 5, Type: TypeDeleteCol}, 10)
 	got := rd.read(ReadOpts{})
-	if got["a"] != nil || string(got["b"]) != "w" {
+	if got.Get("a") != nil || string(got.Get("b")) != "w" {
 		t.Fatalf("read = %v, want only b=w", got)
 	}
 }
@@ -86,7 +86,7 @@ func TestRowDataColumnProjection(t *testing.T) {
 	rd.apply(put("b", "2", 1), 1)
 	rd.apply(put("c", "3", 1), 1)
 	got := rd.read(ReadOpts{Columns: []string{"a", "c"}})
-	if len(got) != 2 || got["b"] != nil {
+	if len(got) != 2 || got.Get("b") != nil {
 		t.Fatalf("projection = %v, want a and c only", got)
 	}
 }
@@ -101,8 +101,8 @@ func TestRowDataCompactDropsTombstones(t *testing.T) {
 	if n := len(rd.cells); n != 1 {
 		t.Fatalf("cells after compact = %d, want 1", n)
 	}
-	if got := rd.read(ReadOpts{}); string(got["a"]) != "v3" {
-		t.Fatalf("read after compact = %q, want v3", got["a"])
+	if got := rd.read(ReadOpts{}); string(got.Get("a")) != "v3" {
+		t.Fatalf("read after compact = %q, want v3", got.Get("a"))
 	}
 }
 
@@ -133,7 +133,7 @@ func TestMergedPreservesOrder(t *testing.T) {
 	b.apply(put("y", "only", 1), 10)
 	m := merged(a, b)
 	got := m.read(ReadOpts{})
-	if string(got["x"]) != "newer" || string(got["y"]) != "only" {
+	if string(got.Get("x")) != "newer" || string(got.Get("y")) != "only" {
 		t.Fatalf("merged read = %v", got)
 	}
 }
@@ -159,7 +159,7 @@ func TestRowDataMaxTSWinsProperty(t *testing.T) {
 			}
 		}
 		got := rd.read(ReadOpts{})
-		return string(got["q"]) == want
+		return string(got.Get("q")) == want
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -181,7 +181,7 @@ func TestRowDataSnapshotNeverFutureProperty(t *testing.T) {
 			return true
 		}
 		var seen int64
-		fmt.Sscanf(string(got["q"]), "%d", &seen)
+		fmt.Sscanf(string(got.Get("q")), "%d", &seen)
 		return seen <= snap
 	}
 	if err := quick.Check(f, nil); err != nil {

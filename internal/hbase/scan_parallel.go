@@ -2,6 +2,7 @@ package hbase
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"synergy/internal/sim"
 )
@@ -11,11 +12,17 @@ import (
 // of the consumer.
 const chunkPrefetch = 2
 
-// parScanner is the scatter-gather engine behind Scanner: a bounded worker
-// pool drains every in-range region concurrently, and the consumer folds the
-// per-region streams back into one key-ordered stream. Regions hold disjoint
-// ascending key ranges, so the ordered merge delivers region i's buffered
-// chunks before region i+1's while later regions prefetch in the background.
+// parScanner is the scatter-gather engine behind Scanner: every in-range
+// region becomes one drain job on the client's shared scan pool (see
+// scanPool), and the consumer folds the per-region streams back into one
+// key-ordered stream. Regions hold disjoint ascending key ranges, so the
+// ordered merge delivers region i's buffered chunks before region i+1's
+// while later regions prefetch in the background.
+//
+// Jobs the pool has not started by the time the consumer needs them are
+// claimed and fetched inline on the consuming request (caller-runs), so a
+// busy pool slows a scan down to at worst the sequential pace but can
+// never stall it.
 //
 // Simulated cost follows fork/join semantics: each region stream charges its
 // RPCs and per-row work to a forked child ctx, and when the scan finishes
@@ -24,6 +31,7 @@ const chunkPrefetch = 2
 type parScanner struct {
 	s       *Scanner
 	streams []regionStream // one per region, in region (= key) order
+	jobs    []scanJob      // one per region, claimed exactly once
 	cancel  chan struct{}
 	wg      sync.WaitGroup
 
@@ -32,6 +40,13 @@ type parScanner struct {
 	bi     int
 	chunks int64 // chunks folded into the ordered stream
 	joined bool
+
+	// Caller-runs state: set while the consumer itself drains the claimed
+	// region ci chunk-by-chunk instead of reading a worker's stream.
+	inline       bool
+	inlineEOF    bool
+	inlineResume string
+	inlineSent   int
 }
 
 type regionStream struct {
@@ -39,82 +54,108 @@ type regionStream struct {
 	ctx *sim.Ctx
 }
 
-// startParScan forks one child ctx per region and launches the worker pool.
-// Workers take regions in key order, so the stream the consumer needs next
-// is always among the ones being fetched.
-func startParScan(ctx *sim.Ctx, s *Scanner, parallelism int) *parScanner {
+// scanJob is one region's drain work, submitted to a scanPool. Whoever
+// wins the claim — a pool worker, the consumer (caller-runs), or a closing
+// scan sweeping unstarted jobs — owns the job's wg slot.
+type scanJob struct {
+	p     *parScanner
+	idx   int
+	taken atomic.Bool
+}
+
+// claim marks the job taken; only the winner may run (or discard) it.
+func (j *scanJob) claim() bool { return j.taken.CompareAndSwap(false, true) }
+
+// run drains the job's region on a pool worker.
+func (j *scanJob) run() {
+	defer j.p.wg.Done()
+	j.p.drainRegion(j.idx)
+}
+
+// startParScan forks one child ctx per region and submits one drain job per
+// region, in key order, to the pool — the stream the consumer needs next is
+// always the oldest queued work.
+func startParScan(ctx *sim.Ctx, s *Scanner, pool *scanPool) *parScanner {
 	p := &parScanner{
 		s:       s,
 		streams: make([]regionStream, len(s.regions)),
+		jobs:    make([]scanJob, len(s.regions)),
 		cancel:  make(chan struct{}),
 	}
-	queue := make(chan int, len(s.regions))
+	p.wg.Add(len(s.regions))
 	for i := range s.regions {
 		p.streams[i] = regionStream{ch: make(chan []RowResult, chunkPrefetch), ctx: ctx.Fork()}
-		queue <- i
+		p.jobs[i] = scanJob{p: p, idx: i}
 	}
-	close(queue)
-	workers := min(parallelism, len(s.regions))
-	p.wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go p.worker(queue)
+	for i := range p.jobs {
+		pool.submit(&p.jobs[i])
 	}
 	return p
 }
 
-func (p *parScanner) worker(queue <-chan int) {
-	defer p.wg.Done()
-	for i := range queue {
-		if !p.drainRegion(i) {
-			return // cancelled
-		}
+// openRegion charges the region-open cost to region i's child ctx and
+// returns the clamped resume key — the shared entry protocol of a worker
+// drain and a caller-runs inline drain.
+func (p *parScanner) openRegion(i int) (resume string) {
+	start, _ := p.s.spec.bounds()
+	resume = start
+	if r := p.s.regions[i]; resume < r.start {
+		resume = r.start
 	}
+	p.streams[i].ctx.Charge(p.s.client.hc.costs.ScanOpen)
+	return resume
 }
 
-// drainRegion fetches region i chunk by chunk, charging the region's child
-// ctx exactly as the sequential path charges its parent. Reports false when
-// the scan was cancelled.
+// nextChunk performs one scanner RPC of region i from resume, charging the
+// region's child ctx exactly as the sequential path charges its parent.
+// done reports the region exhausted — by its end, the stop key, or the
+// per-region limit cap. Both the worker path (drainRegion) and the
+// caller-runs path (fetchInline) fetch exclusively through here, so the
+// two can never diverge on limit or resume semantics.
 //
 // Limit-bounded scatter-gather scans cap every region at Limit rows: the
 // merged result takes the first Limit rows in key order, so no single region
 // can contribute more. Rows past the limit in early regions are speculative
 // overfetch — the client trims them and cancels the workers.
-func (p *parScanner) drainRegion(i int) bool {
+func (p *parScanner) nextChunk(i int, resume string, sent int) (rows []RowResult, next string, done bool) {
+	_, stop := p.s.spec.bounds()
+	limit := p.s.spec.Limit
+	want := p.s.batch
+	if limit > 0 && limit-sent < want {
+		want = limit - sent
+	}
+	rows, next, truncated := p.s.fetchChunk(p.streams[i].ctx, p.s.regions[i], resume, want, stop)
+	done = truncated || next == "" || (limit > 0 && sent+len(rows) >= limit)
+	return rows, next, done
+}
+
+// drainRegion fetches region i chunk by chunk on a pool worker, streaming
+// the chunks to the consumer.
+func (p *parScanner) drainRegion(i int) {
 	st := p.streams[i]
 	defer close(st.ch)
 	if p.cancelled() {
-		return false
+		return
 	}
-	r := p.s.regions[i]
-	start, stop := p.s.spec.bounds()
-	limit := p.s.spec.Limit
-	resume := start
-	if resume < r.start {
-		resume = r.start
-	}
-	st.ctx.Charge(p.s.client.hc.costs.ScanOpen)
+	resume := p.openRegion(i)
 	sent := 0
 	for {
-		want := p.s.batch
-		if limit > 0 && limit-sent < want {
-			want = limit - sent
-		}
-		rows, next, truncated := p.s.fetchChunk(st.ctx, r, resume, want, stop)
+		rows, next, done := p.nextChunk(i, resume, sent)
 		sent += len(rows)
 		if len(rows) > 0 {
 			select {
 			case st.ch <- rows:
 			case <-p.cancel:
-				return false
+				return
 			}
 		}
-		if truncated || next == "" || (limit > 0 && sent >= limit) {
-			return true
+		if done {
+			return
 		}
 		// Check between chunks too: a fully filtered-out region never
 		// sends, and a closed scan must not keep draining it.
 		if p.cancelled() {
-			return false
+			return
 		}
 		resume = next
 	}
@@ -133,9 +174,24 @@ func (p *parScanner) cancelled() bool {
 // once every stream is exhausted.
 func (p *parScanner) next(ctx *sim.Ctx) (RowResult, bool) {
 	for p.bi >= len(p.buf) {
+		if p.inline {
+			if p.fetchInline() {
+				continue // buf refilled
+			}
+			p.inline, p.inlineEOF = false, false
+			p.wg.Done() // the consumer owned this claimed job
+			p.ci++
+			continue
+		}
 		if p.ci >= len(p.streams) {
 			p.finish(ctx)
 			return RowResult{}, false
+		}
+		if p.jobs[p.ci].claim() {
+			// The pool has not started this region yet — run it inline
+			// rather than wait for a worker (CallerRunsPolicy).
+			p.startInline(p.ci)
+			continue
 		}
 		chunk, ok := <-p.streams[p.ci].ch
 		if !ok {
@@ -150,13 +206,51 @@ func (p *parScanner) next(ctx *sim.Ctx) (RowResult, bool) {
 	return row, true
 }
 
+// startInline begins a consumer-driven drain of region i.
+func (p *parScanner) startInline(i int) {
+	p.inline, p.inlineEOF = true, false
+	p.inlineResume, p.inlineSent = p.openRegion(i), 0
+}
+
+// fetchInline pulls the next chunk of the consumer-claimed region into buf.
+// Reports false once the region is exhausted.
+func (p *parScanner) fetchInline() bool {
+	if p.inlineEOF {
+		return false
+	}
+	for {
+		rows, next, done := p.nextChunk(p.ci, p.inlineResume, p.inlineSent)
+		p.inlineSent += len(rows)
+		p.inlineEOF = done
+		p.inlineResume = next
+		if len(rows) > 0 {
+			p.buf, p.bi = rows, 0
+			p.chunks++
+			return true
+		}
+		if done {
+			return false
+		}
+	}
+}
+
 // close cancels outstanding region fetches and joins whatever work they
-// already performed into ctx.
+// already performed into ctx. Jobs still queued on the pool are claimed
+// away so no worker ever starts them.
 func (p *parScanner) close(ctx *sim.Ctx) {
 	if p.joined {
 		return
 	}
 	close(p.cancel)
+	if p.inline {
+		p.inline = false
+		p.wg.Done() // consumer owned the claimed job it was draining
+	}
+	for i := range p.jobs {
+		if p.jobs[i].claim() {
+			p.wg.Done() // never started; nothing fetched, nothing to charge
+		}
+	}
 	// Unblock producers stuck on full streams, then wait them out.
 	p.wg.Wait()
 	p.join(ctx)

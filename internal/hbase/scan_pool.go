@@ -1,0 +1,74 @@
+package hbase
+
+import "sync"
+
+// scanPool is the client-owned bounded worker pool behind scatter-gather
+// scans — the analogue of Phoenix's global intra-query thread pool, which
+// is shared by every query a client runs rather than sized per scanner.
+// sim.Costs.ScanParallelism is the pool size: a single wide scan fans out
+// to at most that many concurrent region fetches, and concurrent scans on
+// the same client queue behind one another instead of multiplying the
+// fan-out (the oversubscription the per-Scanner pools of PR 1 allowed).
+//
+// Jobs are claimed with a CAS before they run, and the scan consumer may
+// claim its next-needed region itself and fetch it inline when no worker
+// has started it yet — the CallerRunsPolicy of the real thread pool. That
+// caller-runs escape is also what makes the shared pool deadlock-free: a
+// consumer never blocks waiting on a job that is still queued, so a pool
+// saturated by blocked producers of one scan cannot strand another scan.
+//
+// Workers are spawned on demand, up to the pool size, and exit when the
+// queue drains, so an idle client holds no goroutines.
+type scanPool struct {
+	size    int
+	mu      sync.Mutex
+	queue   []*scanJob
+	workers int
+}
+
+func newScanPool(size int) *scanPool {
+	if size < 1 {
+		size = 1
+	}
+	return &scanPool{size: size}
+}
+
+// submit enqueues one region-drain job and tops the worker pool up. The
+// queue is unbounded so submission never blocks the scanning request.
+func (p *scanPool) submit(j *scanJob) {
+	p.mu.Lock()
+	p.queue = append(p.queue, j)
+	spawn := p.workers < p.size
+	if spawn {
+		p.workers++
+	}
+	p.mu.Unlock()
+	if spawn {
+		go p.work()
+	}
+}
+
+// work drains queued jobs until none remain, skipping jobs already claimed
+// by a scan consumer (caller-runs) or a closing scan.
+func (p *scanPool) work() {
+	for {
+		p.mu.Lock()
+		var j *scanJob
+		for len(p.queue) > 0 {
+			j = p.queue[0]
+			p.queue[0] = nil
+			p.queue = p.queue[1:]
+			if j.claim() {
+				break
+			}
+			j = nil
+		}
+		if j == nil {
+			p.workers--
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+		j.run()
+	}
+}

@@ -1,0 +1,148 @@
+package hbase
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"synergy/internal/sim"
+)
+
+// TestSharedPoolConcurrentScanners runs many scanners on one client at
+// once: every scan must return the full, correctly ordered result while
+// all of them draw workers from the single shared pool. Run under -race
+// this is the acceptance check for the per-client pool.
+func TestSharedPoolConcurrentScanners(t *testing.T) {
+	_, c := buildScanFixture(t, 3000, 6)
+	want, _ := drainSpec(t, c, ScanSpec{Sequential: true})
+
+	const scanners = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, scanners)
+	for g := 0; g < scanners; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := sim.NewCtx()
+			sc, err := c.Scan(ctx, "t", ScanSpec{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			rows := sc.All(ctx)
+			if len(rows) != len(want) {
+				errs <- fmt.Errorf("got %d rows, want %d", len(rows), len(want))
+				return
+			}
+			for i := range rows {
+				if rows[i].Key != want[i].Key {
+					errs <- fmt.Errorf("row %d key %q, want %q", i, rows[i].Key, want[i].Key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSharedPoolInterleavedScansOneGoroutine is the starvation trap the
+// caller-runs claim exists for: a partially drained scan A parks blocked
+// producers on the pool, then the same goroutine opens and fully drains
+// scan B before ever returning to A. Without the consumer claiming B's
+// unstarted region jobs inline, B could wait forever on workers wedged
+// behind A's full streams.
+func TestSharedPoolInterleavedScansOneGoroutine(t *testing.T) {
+	hc, c := buildScanFixture(t, 3000, 6)
+	// Shrink the pool to two workers so scan A's blocked producers occupy
+	// the whole pool (A spans 6 regions; its first two drains park on full
+	// streams once the partial drain below stops consuming).
+	hc.Costs().ScanParallelism = 2
+	c.pool = nil // rebuild at the new size on next use
+
+	ctxA := sim.NewCtx()
+	scA, err := c.Scan(ctxA, "t", ScanSpec{Batch: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ { // partial drain; producers stay parked
+		if _, ok := scA.Next(ctxA); !ok {
+			t.Fatal("scan A exhausted too early")
+		}
+	}
+
+	ctxB := sim.NewCtx()
+	scB, err := c.Scan(ctxB, "t", ScanSpec{Batch: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsB := scB.All(ctxB)
+
+	rowsA := scA.All(ctxA)
+	seq, _ := drainSpec(t, c, ScanSpec{Sequential: true})
+	if len(rowsB) != len(seq) {
+		t.Fatalf("scan B returned %d rows, want %d", len(rowsB), len(seq))
+	}
+	if got := 10 + len(rowsA); got != len(seq) {
+		t.Fatalf("scan A returned %d rows total, want %d", got, len(seq))
+	}
+	for i := range rowsB {
+		if rowsB[i].Key != seq[i].Key {
+			t.Fatalf("scan B row %d = %q, want %q", i, rowsB[i].Key, seq[i].Key)
+		}
+	}
+}
+
+// TestScanPoolWorkerCap verifies the pool never spawns more goroutines
+// than its size, however many region jobs a scan submits.
+func TestScanPoolWorkerCap(t *testing.T) {
+	p := newScanPool(3)
+	p.mu.Lock()
+	if p.workers != 0 {
+		p.mu.Unlock()
+		t.Fatalf("fresh pool has %d workers", p.workers)
+	}
+	p.mu.Unlock()
+
+	_, c := buildScanFixture(t, 3000, 6)
+	c.pool = p // 6 region jobs over a 3-worker pool
+	ctx := sim.NewCtx()
+	sc, err := c.Scan(ctx, "t", ScanSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	if p.workers > p.size {
+		p.mu.Unlock()
+		t.Fatalf("pool spawned %d workers, cap %d", p.workers, p.size)
+	}
+	p.mu.Unlock()
+	sc.All(ctx)
+}
+
+// TestScanParallelismOverrideUsesPrivatePool pins the per-scan override:
+// an explicit ScanSpec.Parallelism must not be capped by (or occupy) the
+// client's shared pool.
+func TestScanParallelismOverrideUsesPrivatePool(t *testing.T) {
+	_, c := buildScanFixture(t, 2000, 4)
+	shared := c.sharedScanPool()
+	ctx := sim.NewCtx()
+	sc, err := c.Scan(ctx, "t", ScanSpec{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.mu.Lock()
+	queued := len(shared.queue)
+	shared.mu.Unlock()
+	if queued != 0 {
+		t.Fatalf("override scan queued %d jobs on the shared pool", queued)
+	}
+	rows := sc.All(ctx)
+	seq, _ := drainSpec(t, c, ScanSpec{Sequential: true})
+	if len(rows) != len(seq) {
+		t.Fatalf("override scan rows = %d, want %d", len(rows), len(seq))
+	}
+}

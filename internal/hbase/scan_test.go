@@ -77,9 +77,10 @@ func requireSameRows(t *testing.T, seq, par []RowResult) {
 		if len(seq[i].Cells) != len(par[i].Cells) {
 			t.Fatalf("row %q cell counts differ", seq[i].Key)
 		}
-		for q, v := range seq[i].Cells {
-			if !bytes.Equal(v, par[i].Cells[q]) {
-				t.Fatalf("row %q qualifier %q: %q != %q", seq[i].Key, q, v, par[i].Cells[q])
+		for j, p := range seq[i].Cells {
+			pp := par[i].Cells[j]
+			if p.Qualifier != pp.Qualifier || !bytes.Equal(p.Value, pp.Value) {
+				t.Fatalf("row %q pair %d: %s=%q != %s=%q", seq[i].Key, j, p.Qualifier, p.Value, pp.Qualifier, pp.Value)
 			}
 		}
 	}

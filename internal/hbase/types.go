@@ -19,8 +19,6 @@
 package hbase
 
 import (
-	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -60,42 +58,105 @@ func KVSize(rowKey string, c Cell) int64 {
 	return int64(kvOverhead + len(rowKey) + len(c.Qualifier) + len(c.Value))
 }
 
+// Pair is one qualifier/value entry of a materialized row. Values are
+// immutable by convention and shared with the store.
+type Pair struct {
+	Qualifier string
+	Value     []byte
+}
+
+// Cells is the materialized latest-visible-version content of a row: a
+// pair slice sorted ascending by qualifier. The slice form is the row hot
+// path's representation of choice — a scan materializes one slice per row
+// (a map costs two allocations and loses the order every merge, codec and
+// print site then re-derives), Get is a binary search, and the merge sites
+// (region k-way merge, read-your-writes overlay) consume the sortedness
+// directly instead of rebuilding maps. Ranging over Cells IS the sorted
+// qualifier iteration; no site may re-sort or mutate a Cells it did not
+// allocate.
+type Cells []Pair
+
+// Get returns the value stored under a qualifier, or nil. Binary search
+// over the sorted pairs — the slice analogue of the old map index.
+func (c Cells) Get(qualifier string) []byte {
+	lo, hi := 0, len(c)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c[mid].Qualifier < qualifier {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c) && c[lo].Qualifier == qualifier {
+		return c[lo].Value
+	}
+	return nil
+}
+
+// sortedOK reports whether the pairs are strictly ascending by qualifier —
+// the invariant every producer must uphold (fuzzed in cells_fuzz_test.go).
+func (c Cells) sortedOK() bool {
+	for i := 1; i < len(c); i++ {
+		if c[i-1].Qualifier >= c[i].Qualifier {
+			return false
+		}
+	}
+	return true
+}
+
 // RowResult is the materialized latest-visible-version view of one row.
 type RowResult struct {
 	Key   string
-	Cells map[string][]byte // qualifier -> value
+	Cells Cells // sorted ascending by qualifier
 }
 
 // Empty reports whether the row has no visible cells.
 func (r RowResult) Empty() bool { return len(r.Cells) == 0 }
 
 // Get returns the value of a qualifier, or nil.
-func (r RowResult) Get(qualifier string) []byte { return r.Cells[qualifier] }
+func (r RowResult) Get(qualifier string) []byte { return r.Cells.Get(qualifier) }
+
+// SortedQualifiers returns the row's qualifiers in ascending order. The
+// pair slice is already sorted, so this is a single pass with exactly one
+// allocation for the returned slice — callers that only iterate should
+// range over Cells directly, the zero-alloc sorted view. The result is
+// owned by the caller; mutating it cannot corrupt the row.
+func (r RowResult) SortedQualifiers() []string {
+	if len(r.Cells) == 0 {
+		return nil
+	}
+	quals := make([]string, len(r.Cells))
+	for i := range r.Cells {
+		quals[i] = r.Cells[i].Qualifier
+	}
+	return quals
+}
 
 // Bytes returns the approximate payload size of the row as shipped to a
 // client.
 func (r RowResult) Bytes() int {
 	n := len(r.Key)
-	for q, v := range r.Cells {
-		n += kvOverhead + len(q) + len(v)
+	for i := range r.Cells {
+		n += kvOverhead + len(r.Cells[i].Qualifier) + len(r.Cells[i].Value)
 	}
 	return n
 }
 
-// String renders the row compactly for debugging and tests.
+// String renders the row compactly for debugging and tests: one pass over
+// the already-sorted pairs, no qualifier re-sort and no scratch slice.
 func (r RowResult) String() string {
-	quals := make([]string, 0, len(r.Cells))
-	for q := range r.Cells {
-		quals = append(quals, q)
-	}
-	sort.Strings(quals)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s{", r.Key)
-	for i, q := range quals {
+	b.Grow(len(r.Key) + 2 + 16*len(r.Cells))
+	b.WriteString(r.Key)
+	b.WriteByte('{')
+	for i := range r.Cells {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%s", q, r.Cells[q])
+		b.WriteString(r.Cells[i].Qualifier)
+		b.WriteByte('=')
+		b.Write(r.Cells[i].Value)
 	}
 	b.WriteByte('}')
 	return b.String()

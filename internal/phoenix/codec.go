@@ -74,20 +74,22 @@ func RowToCells(row schema.Row) []hbase.Cell {
 }
 
 // CellsToRow decodes a stored row back into typed attributes. Marker columns
-// (leading underscore) are skipped.
+// (leading underscore) are skipped. The pair slice arrives sorted by
+// qualifier, so this is a single ordered pass.
 func CellsToRow(res hbase.RowResult) schema.Row {
 	row := make(schema.Row, len(res.Cells))
-	for q, v := range res.Cells {
+	for i := range res.Cells {
+		q := res.Cells[i].Qualifier
 		if len(q) > 0 && q[0] == '_' {
 			continue
 		}
-		row[q] = DecodeValue(v)
+		row[q] = DecodeValue(res.Cells[i].Value)
 	}
 	return row
 }
 
 // IsDirty reports whether a stored row carries the Synergy dirty marker.
 func IsDirty(res hbase.RowResult) bool {
-	v, ok := res.Cells[DirtyQualifier]
-	return ok && len(v) > 0 && v[len(v)-1] == '1'
+	v := res.Cells.Get(DirtyQualifier)
+	return len(v) > 0 && v[len(v)-1] == '1'
 }

@@ -443,9 +443,9 @@ func TestValueCodecRoundTrip(t *testing.T) {
 }
 
 func TestCellsToRowSkipsMarkers(t *testing.T) {
-	res := hbase.RowResult{Key: "k", Cells: map[string][]byte{
-		"a":            EncodeValue(int64(1)),
-		DirtyQualifier: []byte("1"),
+	res := hbase.RowResult{Key: "k", Cells: hbase.Cells{
+		{Qualifier: DirtyQualifier, Value: []byte("1")},
+		{Qualifier: "a", Value: EncodeValue(int64(1))},
 	}}
 	row := CellsToRow(res)
 	if len(row) != 1 || row["a"].(int64) != 1 {
