@@ -9,6 +9,8 @@
 //	synergy-bench -experiment fig10 -scales 500,5000,50000
 //	synergy-bench -experiment table3 -cust 2000
 //	synergy-bench -experiment contention -hotrows 1,4,16 -workers 8 -rounds 50 -ops 10
+//	synergy-bench -experiment contention -herd
+//	synergy-bench -experiment maintenance -views 1,4,16
 package main
 
 import (
@@ -23,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig10|fig11|fig12|fig13|fig14|table1|table2|table3|design|contention|all")
+		experiment = flag.String("experiment", "all", "fig10|fig11|fig12|fig13|fig14|table1|table2|table3|design|contention|maintenance|all")
 		cust       = flag.Int("cust", 1000, "TPC-W customer count (paper: 1,000,000)")
 		reps       = flag.Int("reps", 10, "repetitions per measurement (paper: 10)")
 		seed       = flag.Int64("seed", 1, "deterministic seed")
@@ -33,11 +35,13 @@ func main() {
 		workers    = flag.Int("workers", 4, "contention sweep concurrent workers")
 		rounds     = flag.Int("rounds", 25, "contention sweep waves per cell")
 		ops        = flag.Int("ops", 1, "contention sweep statements per transaction")
+		herd       = flag.Bool("herd", false, "contention sweep: conflict losers retry as an overlapping wave instead of solo")
+		views      = flag.String("views", "1,4,16", "maintenance sweep view counts")
 	)
 	flag.Parse()
 
 	if err := run(*experiment, *cust, *reps, *seed, parseInts(*scales), parseInts(*locks),
-		parseInts(*hotRows), *workers, *rounds, *ops); err != nil {
+		parseInts(*hotRows), *workers, *rounds, *ops, *herd, parseInts(*views)); err != nil {
 		fmt.Fprintln(os.Stderr, "synergy-bench:", err)
 		os.Exit(1)
 	}
@@ -60,7 +64,7 @@ func parseInts(csv string) []int {
 	return out
 }
 
-func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows []int, workers, rounds, ops int) error {
+func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows []int, workers, rounds, ops int, herd bool, views []int) error {
 	needSystems := map[string]bool{"fig12": true, "fig14": true, "table2": true, "table3": true, "all": true}
 	var set *bench.SystemSet
 	if needSystems[experiment] {
@@ -114,11 +118,19 @@ func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows [
 		fmt.Println(bench.Figure13Matrix())
 	}
 	if want("contention") {
-		res, err := bench.RunContention(hotRows, workers, rounds, ops, seed, nil)
+		res, err := bench.RunContentionOpts(hotRows, workers, rounds, ops, seed, nil,
+			bench.ContentionOpts{Herd: herd})
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.RenderContention(res))
+	}
+	if want("maintenance") {
+		res, err := bench.RunMaintenance(views, reps, seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderMaintenance(res))
 	}
 	if want("fig14") {
 		g, err := bench.RunFigure14(set, reps, seed)

@@ -119,6 +119,11 @@ func (hc *HCluster) Costs() *sim.Costs { return hc.costs }
 // for the millisecond clock HBase stamps cells with.
 func (hc *HCluster) NextTS() int64 { return hc.ts.Add(1) }
 
+// CurrentTS reports the highest timestamp issued so far without advancing
+// the clock. Every cell in the store carries a stamp ≤ CurrentTS, which
+// makes it the snapshot horizon watermark readers wait against.
+func (hc *HCluster) CurrentTS() int64 { return hc.ts.Load() }
+
 func (hc *HCluster) assignServer() string {
 	s := hc.servers[hc.nextSrv%len(hc.servers)]
 	hc.nextSrv++

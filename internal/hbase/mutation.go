@@ -66,8 +66,17 @@ type regionGroup struct {
 // dispatch, so results are deterministic regardless of goroutine scheduling
 // and match what the same sequence of Put/DeleteAt calls would have written.
 func (c *Client) MutateBatch(ctx *sim.Ctx, muts []Mutation) error {
+	_, err := c.mutateBatch(ctx, muts)
+	return err
+}
+
+// mutateBatch is MutateBatch plus the batch's high timestamp: the largest
+// stamp assigned to (or carried by) any mutation in the batch, which is the
+// commit timestamp the changefeed records for asynchronously maintained
+// views. Zero when the batch is empty.
+func (c *Client) mutateBatch(ctx *sim.Ctx, muts []Mutation) (int64, error) {
 	if len(muts) == 0 {
-		return nil
+		return 0, nil
 	}
 	// Resolve tables first so an unknown table fails before any mutation is
 	// applied, and the meta-cache charges land once per table.
@@ -79,23 +88,30 @@ func (c *Client) MutateBatch(ctx *sim.Ctx, muts []Mutation) error {
 		c.prepare(ctx, muts[i].Table)
 		t, err := c.hc.lookup(muts[i].Table)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		tables[muts[i].Table] = t
 	}
 	// Stamp server-side timestamps in batch order, one per mutation as the
 	// eager path does, then group by region preserving arrival order.
+	var maxTS int64
 	var groups []*regionGroup
 	byRegion := make(map[*Region]*regionGroup)
 	for _, m := range muts {
 		if m.TS == 0 {
 			m.TS = c.hc.NextTS()
 		}
+		if m.TS > maxTS {
+			maxTS = m.TS
+		}
 		if !m.Delete {
 			stamped := make([]Cell, len(m.Cells))
 			for i, cell := range m.Cells {
 				if cell.TS == 0 {
 					cell.TS = m.TS
+				}
+				if cell.TS > maxTS {
+					maxTS = cell.TS
 				}
 				stamped[i] = cell
 			}
@@ -113,7 +129,7 @@ func (c *Client) MutateBatch(ctx *sim.Ctx, muts []Mutation) error {
 
 	if len(groups) == 1 {
 		c.applyGroup(ctx, groups[0])
-		return nil
+		return maxTS, nil
 	}
 	// Independent regions dispatch in parallel in the modeled system:
 	// fork/join accounting charges the caller max(region elapsed), not the
@@ -128,7 +144,7 @@ func (c *Client) MutateBatch(ctx *sim.Ctx, muts []Mutation) error {
 		c.applyGroup(children[i], g)
 	}
 	ctx.Join(children...)
-	return nil
+	return maxTS, nil
 }
 
 // applyGroup ships one region's mutations, splitting at MutateMaxBatch. Each
@@ -195,6 +211,9 @@ type BufferedMutator struct {
 	muts    []Mutation
 	overlay map[string]*overlayTable
 	seq     int64 // synthetic overlay timestamps for unstamped mutations
+	// flushTS is the high timestamp across every flush so far — the commit
+	// timestamp a transaction's changefeed deltas are tagged with.
+	flushTS int64
 }
 
 // NewBufferedMutator returns a mutator that auto-flushes at
@@ -344,10 +363,19 @@ func (m *BufferedMutator) Flush(ctx *sim.Ctx) error {
 		m.c.putOverlay(m.overlay)
 		m.overlay = nil
 	}
-	err := m.c.MutateBatch(ctx, muts)
+	ts, err := m.c.mutateBatch(ctx, muts)
+	if ts > m.flushTS {
+		m.flushTS = ts
+	}
 	m.c.putMutBuf(muts)
 	return err
 }
+
+// FlushTS reports the highest store timestamp any flush of this mutator has
+// stamped (zero before the first flush). After a transaction's final flush
+// it is the transaction's commit timestamp: every cell the transaction wrote
+// carries a stamp ≤ FlushTS, so a view watermark at FlushTS covers it.
+func (m *BufferedMutator) FlushTS() int64 { return m.flushTS }
 
 // Discard drops every buffered mutation (and the overlay) without applying
 // anything — the abort path of a transaction-scoped mutator. Mutations

@@ -39,6 +39,7 @@ type parScanner struct {
 	buf    []RowResult
 	bi     int
 	chunks int64 // chunks folded into the ordered stream
+	width  int   // pool width the cost join models (0 = unbounded)
 	joined bool
 
 	// Caller-runs state: set while the consumer itself drains the claimed
@@ -81,6 +82,7 @@ func startParScan(ctx *sim.Ctx, s *Scanner, pool *scanPool) *parScanner {
 		streams: make([]regionStream, len(s.regions)),
 		jobs:    make([]scanJob, len(s.regions)),
 		cancel:  make(chan struct{}),
+		width:   pool.size,
 	}
 	p.wg.Add(len(s.regions))
 	for i := range s.regions {
@@ -264,12 +266,16 @@ func (p *parScanner) finish(ctx *sim.Ctx) {
 	p.join(ctx)
 }
 
+// join folds the per-region children back into the parent under the pool's
+// real concurrency: a scan over more regions than the pool has workers pays
+// ceil(regions/width) rounds of region cost, not one — the shared pool's
+// completion time, which is what makes pool sharing visible in figures.
 func (p *parScanner) join(ctx *sim.Ctx) {
 	p.joined = true
 	children := make([]*sim.Ctx, len(p.streams))
 	for i := range p.streams {
 		children[i] = p.streams[i].ctx
 	}
-	ctx.Join(children...)
+	ctx.JoinWidth(p.width, children...)
 	ctx.Charge(sim.Micros(p.chunks * int64(p.s.client.hc.costs.ScanMergeChunk)))
 }

@@ -57,6 +57,12 @@ type QueryOpts struct {
 	// reader (wrapping the overlay view) through it, so the openScan choke
 	// point records every range the query touched.
 	Reader hbase.Reader
+	// OnViewScan, when set, runs before a materialized view's rows are
+	// fetched (once per view access — scan or index-nested-loop probe
+	// phase). Synergy threads its asynchronous-maintenance freshness gate
+	// through it: observing staleness in ReadStale mode, or erroring if a
+	// view that should have been waited on is still behind.
+	OnViewScan func(ctx *sim.Ctx, view string) error
 }
 
 // ResultSet is the client-visible output of a query.

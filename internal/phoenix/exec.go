@@ -195,6 +195,12 @@ func (q *query) scanBinding(ctx *sim.Ctx, b *binding, plan accessPlan) ([]tuple,
 		return true
 	}
 
+	if b.info.IsView && q.opts.OnViewScan != nil {
+		if err := q.opts.OnViewScan(ctx, b.info.Name); err != nil {
+			return nil, err
+		}
+	}
+
 	dirtyChecked := q.opts.DirtyCheck && b.info.IsView
 	maxRestarts := q.opts.MaxRestarts
 	if maxRestarts <= 0 {
@@ -429,6 +435,11 @@ func (q *query) indexNestedLoop(ctx *sim.Ctx, outer []tuple, b *binding, plan ac
 	joinVal := map[string]int{} // inner col -> index into outerKeys
 	for i, c := range innerCols {
 		joinVal[c] = i
+	}
+	if b.info.IsView && q.opts.OnViewScan != nil {
+		if err := q.opts.OnViewScan(ctx, b.info.Name); err != nil {
+			return nil, err
+		}
 	}
 	tableName := b.info.Name
 	if plan.kind == accessIndexPrefix {

@@ -149,6 +149,21 @@ type Costs struct {
 	// DirtyRestartPenalty is charged when a scan observes a dirty-marked
 	// row and restarts (§VIII-C).
 	DirtyRestartPenalty Micros
+
+	// AsyncQueueHop is charged to the writer when its committed view deltas
+	// are handed to the changefeed — the enqueue hop onto the maintenance
+	// lane, the only maintenance cost left on the client's critical path in
+	// async mode.
+	AsyncQueueHop Micros
+	// AsyncApplyBatch is the per-batch overhead an applier worker pays to
+	// drain one batch of deltas from a view's queue (dequeue, batch setup),
+	// charged to the background apply context, not the writer.
+	AsyncApplyBatch Micros
+	// WatermarkWait is the fixed cost of one watermark-freshness check a
+	// ReadWatermark reader pays when it finds a view behind its snapshot and
+	// must wait for the applier (the wait itself additionally charges the
+	// applier work the reader blocked on).
+	WatermarkWait Micros
 }
 
 // LockBackoff returns the simulated wait before retry number attempt
@@ -225,5 +240,9 @@ func DefaultCosts() *Costs {
 		LockRetryBackoff:    FromMillis(5),
 		LockRetryBackoffMax: FromMillis(80),
 		DirtyRestartPenalty: FromMillis(1),
+
+		AsyncQueueHop:   FromMillis(0.05),
+		AsyncApplyBatch: FromMillis(0.15),
+		WatermarkWait:   FromMillis(0.25),
 	}
 }

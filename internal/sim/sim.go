@@ -59,13 +59,16 @@ type Ctx struct {
 
 	// Counters give tests and the benchmark harness visibility into the
 	// physical work performed, independent of the latency calibration.
-	rpcs         atomic.Int64
-	rowsScanned  atomic.Int64
-	rowsReturned atomic.Int64
-	bytesMoved   atomic.Int64
-	locks        atomic.Int64
-	restarts     atomic.Int64
-	occRetries   atomic.Int64
+	rpcs           atomic.Int64
+	rowsScanned    atomic.Int64
+	rowsReturned   atomic.Int64
+	bytesMoved     atomic.Int64
+	locks          atomic.Int64
+	restarts       atomic.Int64
+	occRetries     atomic.Int64
+	staleReads     atomic.Int64
+	staleLag       atomic.Int64
+	watermarkWaits atomic.Int64
 }
 
 // NewCtx returns a fresh request context with zero elapsed time.
@@ -110,15 +113,62 @@ func (c *Ctx) Join(children ...*Ctx) {
 		if e := ch.elapsed.Load(); e > longest {
 			longest = e
 		}
-		c.rpcs.Add(ch.rpcs.Load())
-		c.rowsScanned.Add(ch.rowsScanned.Load())
-		c.rowsReturned.Add(ch.rowsReturned.Load())
-		c.bytesMoved.Add(ch.bytesMoved.Load())
-		c.locks.Add(ch.locks.Load())
-		c.restarts.Add(ch.restarts.Load())
-		c.occRetries.Add(ch.occRetries.Load())
+		c.addCounters(ch)
 	}
 	c.elapsed.Add(longest)
+}
+
+// JoinWidth merges forked children like Join, but models a bounded worker
+// pool of the given width instead of unlimited concurrency: children are
+// scheduled in submission order, each starting on the lane that frees
+// earliest, and elapsed advances by the resulting makespan. For n
+// equal-cost children it charges ceil(n/width) rounds of the child cost —
+// the shared scan pool's real completion time — rather than a single round.
+// A width of zero or >= len(children) degenerates to Join.
+func (c *Ctx) JoinWidth(width int, children ...*Ctx) {
+	if c == nil {
+		return
+	}
+	if width <= 0 || width >= len(children) {
+		c.Join(children...)
+		return
+	}
+	lanes := make([]int64, width)
+	for _, ch := range children {
+		if ch == nil {
+			continue
+		}
+		li := 0
+		for i := 1; i < width; i++ {
+			if lanes[i] < lanes[li] {
+				li = i
+			}
+		}
+		lanes[li] += ch.elapsed.Load()
+		c.addCounters(ch)
+	}
+	var makespan int64
+	for _, l := range lanes {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	c.elapsed.Add(makespan)
+}
+
+// addCounters folds one child's work counters into c (elapsed excluded —
+// Join/JoinWidth own the overlap semantics).
+func (c *Ctx) addCounters(ch *Ctx) {
+	c.rpcs.Add(ch.rpcs.Load())
+	c.rowsScanned.Add(ch.rowsScanned.Load())
+	c.rowsReturned.Add(ch.rowsReturned.Load())
+	c.bytesMoved.Add(ch.bytesMoved.Load())
+	c.locks.Add(ch.locks.Load())
+	c.restarts.Add(ch.restarts.Load())
+	c.occRetries.Add(ch.occRetries.Load())
+	c.staleReads.Add(ch.staleReads.Load())
+	c.staleLag.Add(ch.staleLag.Load())
+	c.watermarkWaits.Add(ch.watermarkWaits.Load())
 }
 
 // Reset zeroes the context so it can be reused for a new request.
@@ -131,6 +181,9 @@ func (c *Ctx) Reset() {
 	c.locks.Store(0)
 	c.restarts.Store(0)
 	c.occRetries.Store(0)
+	c.staleReads.Store(0)
+	c.staleLag.Store(0)
+	c.watermarkWaits.Store(0)
 }
 
 // CountRPC records an RPC round trip (the latency is charged separately by
@@ -184,6 +237,26 @@ func (c *Ctx) CountOCCRetry() {
 	}
 }
 
+// CountStaleRead records one read that observed an asynchronously maintained
+// view lagging its snapshot, with the observed lag in timestamp units
+// (commits the view has not yet applied as of the reader's snapshot).
+func (c *Ctx) CountStaleRead(lag int64) {
+	if c != nil {
+		c.staleReads.Add(1)
+		if lag > 0 {
+			c.staleLag.Add(lag)
+		}
+	}
+}
+
+// CountWatermarkWait records one read that blocked until a view's freshness
+// watermark covered its snapshot.
+func (c *Ctx) CountWatermarkWait() {
+	if c != nil {
+		c.watermarkWaits.Add(1)
+	}
+}
+
 // Stats is a snapshot of the work counters of a Ctx.
 type Stats struct {
 	RPCs         int64
@@ -193,7 +266,13 @@ type Stats struct {
 	Locks        int64
 	Restarts     int64
 	OCCRetries   int64
-	Elapsed      Micros
+	// StaleReads counts reads that observed an async-maintained view behind
+	// the reader's snapshot; StaleLag is their summed lag in timestamp units.
+	StaleReads int64
+	StaleLag   int64
+	// WatermarkWaits counts reads that blocked on a view freshness watermark.
+	WatermarkWaits int64
+	Elapsed        Micros
 }
 
 // Snapshot returns the current work counters.
@@ -202,13 +281,16 @@ func (c *Ctx) Snapshot() Stats {
 		return Stats{}
 	}
 	return Stats{
-		RPCs:         c.rpcs.Load(),
-		RowsScanned:  c.rowsScanned.Load(),
-		RowsReturned: c.rowsReturned.Load(),
-		BytesMoved:   c.bytesMoved.Load(),
-		Locks:        c.locks.Load(),
-		Restarts:     c.restarts.Load(),
-		OCCRetries:   c.occRetries.Load(),
-		Elapsed:      c.Elapsed(),
+		RPCs:           c.rpcs.Load(),
+		RowsScanned:    c.rowsScanned.Load(),
+		RowsReturned:   c.rowsReturned.Load(),
+		BytesMoved:     c.bytesMoved.Load(),
+		Locks:          c.locks.Load(),
+		Restarts:       c.restarts.Load(),
+		OCCRetries:     c.occRetries.Load(),
+		StaleReads:     c.staleReads.Load(),
+		StaleLag:       c.staleLag.Load(),
+		WatermarkWaits: c.watermarkWaits.Load(),
+		Elapsed:        c.Elapsed(),
 	}
 }

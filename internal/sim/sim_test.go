@@ -217,6 +217,95 @@ func TestForkJoinChargesMaxElapsedSumCounters(t *testing.T) {
 	}
 }
 
+// JoinWidth models a bounded worker pool: n equal-cost children on width w
+// lanes complete in ceil(n/w) rounds, not one.
+func TestJoinWidthChargesRounds(t *testing.T) {
+	cases := []struct {
+		children, width int
+		each            Micros
+		want            Micros
+	}{
+		{children: 16, width: 8, each: 100, want: 200},  // 2 rounds
+		{children: 17, width: 8, each: 100, want: 300},  // ceil(17/8) = 3
+		{children: 8, width: 8, each: 100, want: 100},   // fits in one round
+		{children: 3, width: 8, each: 100, want: 100},   // width >= n: plain Join
+		{children: 5, width: 0, each: 100, want: 100},   // width 0: plain Join
+		{children: 10, width: 1, each: 100, want: 1000}, // serial lane
+	}
+	for _, tc := range cases {
+		parent := NewCtx()
+		kids := make([]*Ctx, tc.children)
+		for i := range kids {
+			kids[i] = parent.Fork()
+			kids[i].Charge(tc.each)
+			kids[i].CountRPC()
+		}
+		parent.JoinWidth(tc.width, kids...)
+		if got := parent.Elapsed(); got != tc.want {
+			t.Fatalf("JoinWidth(%d) over %d×%v children: elapsed = %v, want %v",
+				tc.width, tc.children, tc.each, got, tc.want)
+		}
+		if s := parent.Snapshot(); s.RPCs != int64(tc.children) {
+			t.Fatalf("JoinWidth dropped counters: RPCs = %d, want %d", s.RPCs, tc.children)
+		}
+	}
+}
+
+// With unequal children, JoinWidth schedules each child on the lane that
+// frees earliest (the pool's caller-runs behavior), so the makespan reflects
+// greedy list scheduling, and never undercuts the plain-Join lower bound.
+func TestJoinWidthUnequalChildren(t *testing.T) {
+	parent := NewCtx()
+	costs := []Micros{300, 100, 100, 100}
+	kids := make([]*Ctx, len(costs))
+	for i, d := range costs {
+		kids[i] = parent.Fork()
+		kids[i].Charge(d)
+	}
+	// Two lanes: lane0 gets 300, lane1 gets 100+100+100 = 300. Makespan 300.
+	parent.JoinWidth(2, kids...)
+	if got := parent.Elapsed(); got != 300 {
+		t.Fatalf("elapsed = %v, want 300 (greedy two-lane schedule)", got)
+	}
+}
+
+func TestJoinWidthNilSafe(t *testing.T) {
+	var nilCtx *Ctx
+	nilCtx.JoinWidth(2, NewCtx()) // must not panic
+	parent := NewCtx()
+	parent.JoinWidth(2, nil, nil, nil) // nil children skipped
+	if parent.Elapsed() != 0 {
+		t.Fatalf("elapsed = %v, want 0", parent.Elapsed())
+	}
+}
+
+// Staleness counters flow through Snapshot, Join, and Reset like the others.
+func TestStalenessCounters(t *testing.T) {
+	ctx := NewCtx()
+	ctx.CountStaleRead(5)
+	ctx.CountStaleRead(0) // zero lag still counts the read
+	ctx.CountWatermarkWait()
+
+	child := ctx.Fork()
+	child.CountStaleRead(3)
+	child.CountWatermarkWait()
+	ctx.Join(child)
+
+	s := ctx.Snapshot()
+	if s.StaleReads != 3 || s.StaleLag != 8 || s.WatermarkWaits != 2 {
+		t.Fatalf("stats = %+v, want StaleReads=3 StaleLag=8 WatermarkWaits=2", s)
+	}
+	ctx.Reset()
+	s = ctx.Snapshot()
+	if s.StaleReads != 0 || s.StaleLag != 0 || s.WatermarkWaits != 0 {
+		t.Fatalf("Reset left staleness counters: %+v", s)
+	}
+
+	var nilCtx *Ctx
+	nilCtx.CountStaleRead(1) // must not panic
+	nilCtx.CountWatermarkWait()
+}
+
 func TestForkJoinEmptyAndNil(t *testing.T) {
 	parent := NewCtx()
 	parent.Charge(50)

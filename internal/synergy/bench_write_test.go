@@ -55,6 +55,64 @@ func BenchmarkMaintenanceWrite(b *testing.B) {
 	}
 }
 
+// BenchmarkMaintenanceLanes measures the same fanout update across the
+// three view-maintenance lanes: sync pays the full §VIII-B protocol inline,
+// async defers every view's maintenance to the changefeed, hybrid defers
+// updates only (which this workload is made of, so it tracks async here).
+// The feed is paused during timed sections and drained under StopTimer so
+// the applier's work never lands on the timed writer — sim-ms/op isolates
+// the writer-visible latency each lane produces.
+func BenchmarkMaintenanceLanes(b *testing.B) {
+	lanes := []struct {
+		name string
+		mode MaintenanceMode
+	}{
+		{"sync", SyncMaintenance},
+		{"async", AsyncMaintenance},
+		{"hybrid", HybridMaintenance},
+	}
+	for _, views := range []int{1, 4, 16} {
+		for _, lane := range lanes {
+			b.Run(fmt.Sprintf("views=%d/%s", views, lane.name), func(b *testing.B) {
+				sys := fanoutSystem(b, views, 16, Config{Maintenance: lane.mode})
+				if sys.Feed != nil {
+					sys.Feed.Pause()
+				}
+				up := sqlparser.MustParse("UPDATE Root SET RVal = ? WHERE RID = ?")
+				b.ReportAllocs()
+				var total sim.Micros
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ctx := sim.NewCtx()
+					if err := sys.Exec(ctx, up, []schema.Value{fmt.Sprintf("v-%d", i), int64(1)}); err != nil {
+						b.Fatal(err)
+					}
+					total += ctx.Elapsed()
+					if sys.Feed != nil && (i+1)%64 == 0 {
+						// Keep the paused backlog bounded below the queue cap
+						// without the drain showing up in time or allocs.
+						b.StopTimer()
+						sys.Feed.Resume()
+						if err := sys.Feed.Drain(); err != nil {
+							b.Fatal(err)
+						}
+						sys.Feed.Pause()
+						b.StartTimer()
+					}
+				}
+				b.StopTimer()
+				if sys.Feed != nil {
+					sys.Feed.Resume()
+					if err := sys.Feed.Drain(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(total.Milliseconds()/float64(b.N), "sim-ms/op")
+			})
+		}
+	}
+}
+
 // BenchmarkTxnWrite measures a multi-statement TPC-W-like write
 // transaction (repeated leaf inserts, a read-your-writes update, a delete)
 // across the three pipelines. The transaction-scoped mutator pays one

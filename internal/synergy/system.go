@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"synergy/internal/changefeed"
 	"synergy/internal/cluster"
 	"synergy/internal/core"
 	"synergy/internal/hbase"
@@ -53,6 +54,38 @@ const (
 	OCC
 )
 
+// MaintenanceMode selects how a materialized view is kept up to date with
+// its base tables.
+type MaintenanceMode int
+
+const (
+	// SyncMaintenance is the paper's §VIII-B protocol: the writing
+	// statement maintains every view before it returns.
+	SyncMaintenance MaintenanceMode = iota
+	// AsyncMaintenance takes all view upkeep off the critical path: the
+	// commit publishes deltas to the changefeed and background appliers
+	// replay the maintenance procedures; reads may observe staleness.
+	AsyncMaintenance
+	// HybridMaintenance keeps inserts and deletes synchronous (a view
+	// tuple's existence is never stale) but defers the multi-row updates —
+	// the expensive marked phase — to the changefeed.
+	HybridMaintenance
+)
+
+// ViewReadMode selects what a read does when it touches an asynchronously
+// maintained view.
+type ViewReadMode int
+
+const (
+	// ReadStale accepts whatever the view holds, recording the observed
+	// staleness (lag behind the reader's snapshot) in sim.Stats.
+	ReadStale ViewReadMode = iota
+	// ReadWatermark blocks before the snapshot is taken until every async
+	// view the query touches has applied all deltas up to the read's
+	// arrival point, charging the reader the wait.
+	ReadWatermark
+)
+
 // Config parameterizes system construction.
 type Config struct {
 	// Costs overrides the latency calibration (nil = defaults).
@@ -82,6 +115,19 @@ type Config struct {
 	// kept as the baseline the transaction-scoped pipeline is measured
 	// against. Ignored when SequentialWrites is set (which is stricter).
 	StatementFlush bool
+	// Maintenance is the default view-maintenance mode (SyncMaintenance
+	// keeps the historical behavior).
+	Maintenance MaintenanceMode
+	// ViewMaintenance overrides the maintenance mode per view name.
+	ViewMaintenance map[string]MaintenanceMode
+	// AsyncReads selects the read behavior against async-maintained views
+	// (default ReadStale).
+	AsyncReads ViewReadMode
+	// AsyncQueueCap bounds each view's changefeed lane; a full lane blocks
+	// the committing writer (default 1024).
+	AsyncQueueCap int
+	// AsyncBatchMax caps the deltas an applier drains per batch (default 32).
+	AsyncBatchMax int
 }
 
 // System is a deployed Synergy instance.
@@ -99,6 +145,9 @@ type System struct {
 	MVCCServer *mvcc.Server
 	// OCC is the commit-time validation service when Concurrency == OCC.
 	OCC *occ.Validator
+	// Feed is the asynchronous view-maintenance changefeed; nil when every
+	// view is synchronously maintained.
+	Feed *changefeed.Feed
 
 	// occPostBegin is a test-only fault-injection hook (like the slave's
 	// kill-before-exec): when set, it runs after each OCC transaction
@@ -176,6 +225,13 @@ func New(sch *schema.Schema, roots []string, workloadSQL []string, cfg Config) (
 	}
 
 	sys.Engine = phoenix.NewEngine(cat)
+	if !cfg.DisableViews && (cfg.Maintenance != SyncMaintenance || len(cfg.ViewMaintenance) > 0) {
+		sys.Feed = changefeed.New(changefeed.Config{
+			QueueCap: cfg.AsyncQueueCap,
+			BatchMax: cfg.AsyncBatchMax,
+			Costs:    cfg.Costs,
+		})
+	}
 	sys.Locks = NewLockManager(store)
 	if err := sys.Locks.CreateLockTables(roots); err != nil {
 		return nil, err
@@ -375,6 +431,72 @@ func (sys *System) rewriteFor(sel *sqlparser.SelectStmt) *sqlparser.SelectStmt {
 	return core.RewriteQuery(sel, mat).Stmt
 }
 
+// maintModeFor returns the effective maintenance mode of one view: the
+// per-view override when present, else the system default.
+func (sys *System) maintModeFor(view string) MaintenanceMode {
+	if m, ok := sys.cfg.ViewMaintenance[view]; ok {
+		return m
+	}
+	return sys.cfg.Maintenance
+}
+
+// SetAsyncReadMode switches how reads treat asynchronously maintained views
+// (the bench harness flips one system between ReadStale probes and
+// ReadWatermark barriers). Not safe to call concurrently with queries.
+func (sys *System) SetAsyncReadMode(m ViewReadMode) { sys.cfg.AsyncReads = m }
+
+// asyncViewsIn lists the asynchronously maintained views a (rewritten)
+// query reads, including inside derived tables.
+func (sys *System) asyncViewsIn(stmt *sqlparser.SelectStmt) []string {
+	if sys.Feed == nil {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	var walk func(s *sqlparser.SelectStmt)
+	walk = func(s *sqlparser.SelectStmt) {
+		for _, ref := range s.From {
+			if ref.Sub != nil {
+				walk(ref.Sub)
+				continue
+			}
+			if seen[ref.Name] {
+				continue
+			}
+			seen[ref.Name] = true
+			info, err := sys.Catalog.Table(ref.Name)
+			if err != nil || !info.IsView {
+				continue
+			}
+			if sys.maintModeFor(ref.Name) != SyncMaintenance {
+				out = append(out, ref.Name)
+			}
+		}
+	}
+	walk(stmt)
+	return out
+}
+
+// staleObserver returns the OnViewScan hook of a ReadStale query: it records
+// (once per view per query) how far behind the reader's snapshot an
+// async-maintained view lags. Nil when there is nothing to observe.
+func (sys *System) staleObserver(readTS int64) func(*sim.Ctx, string) error {
+	if sys.Feed == nil || sys.cfg.AsyncReads != ReadStale {
+		return nil
+	}
+	seen := map[string]bool{}
+	return func(c *sim.Ctx, view string) error {
+		if seen[view] || sys.maintModeFor(view) == SyncMaintenance {
+			return nil
+		}
+		seen[view] = true
+		if lag := sys.Feed.StaleBehind(view, readTS); lag > 0 {
+			c.CountStaleRead(lag)
+		}
+		return nil
+	}
+}
+
 // Query executes a read. Workload queries run their view-based rewrite;
 // reads go directly to the HBase layer (Figure 7). Under hierarchical
 // locking the dirty-read restart protocol guards view scans (§VIII-C); under
@@ -383,12 +505,24 @@ func (sys *System) rewriteFor(sel *sqlparser.SelectStmt) *sqlparser.SelectStmt {
 // serializable as of their begin point and need no validation, and the
 // snapshot horizon hides commits still flushing, so no dirty marking is
 // needed either.
+//
+// Asynchronously maintained views add a freshness gate. In ReadWatermark
+// mode the query waits — before its snapshot is taken, so the snapshot
+// includes the applied deltas under every concurrency mode — until each
+// async view it touches covers the read's arrival point. In ReadStale mode
+// the query runs immediately and records the observed lag per view.
 func (sys *System) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (*phoenix.ResultSet, error) {
 	stmt := sys.rewriteFor(sel)
+	if sys.Feed != nil && sys.cfg.AsyncReads == ReadWatermark {
+		arrival := sys.Store.CurrentTS()
+		for _, v := range sys.asyncViewsIn(stmt) {
+			sys.Feed.WaitWatermark(ctx, v, arrival)
+		}
+	}
 	switch sys.cfg.Concurrency {
 	case MVCC:
 		tx := sys.MVCCServer.Begin(ctx)
-		rs, err := sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: tx.ReadOpts()})
+		rs, err := sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: tx.ReadOpts(), OnViewScan: sys.staleObserver(tx.ID())})
 		if err != nil {
 			sys.MVCCServer.Abort(ctx, tx)
 			return nil, err
@@ -398,9 +532,10 @@ func (sys *System) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schem
 		}
 		return rs, nil
 	case OCC:
-		return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: hbase.SnapshotRead(sys.OCC.SnapshotTS(ctx))})
+		snap := sys.OCC.SnapshotTS(ctx)
+		return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: hbase.SnapshotRead(snap), OnViewScan: sys.staleObserver(snap)})
 	}
-	return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{DirtyCheck: true})
+	return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{DirtyCheck: true, OnViewScan: sys.staleObserver(sys.Store.CurrentTS())})
 }
 
 // Exec executes a write statement: through the Synergy transaction layer

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"synergy/internal/changefeed"
 	"synergy/internal/core"
 	"synergy/internal/hbase"
 	"synergy/internal/mvcc"
@@ -158,8 +159,20 @@ type Tx struct {
 	// transaction never leaves rows permanently dirty (readers would
 	// restart forever).
 	marks []markRef
-	stmts int // statements executed (MVCC checkpoints between them)
-	done  bool
+	// deltas are view-maintenance actions deferred to the changefeed
+	// (async/hybrid views): captured during statement execution, published
+	// only on commit, dropped on abort.
+	deltas []viewDelta
+	stmts  int // statements executed (MVCC checkpoints between them)
+	done   bool
+}
+
+// viewDelta is one deferred view-maintenance action: enough to replay the
+// §VII construction procedure for one view from the background applier.
+type viewDelta struct {
+	view   string
+	action core.ViewAction
+	parts  *writeParts
 }
 
 type lockRef struct{ root, key string }
@@ -251,6 +264,7 @@ func (tx *Tx) Commit(ctx *sim.Ctx) error {
 			return err
 		}
 		tx.sys.OCC.Finalize(ctx, tx.occTx)
+		tx.publishDeltas(ctx)
 		return nil
 	}
 	if tx.mutator != nil {
@@ -263,9 +277,79 @@ func (tx *Tx) Commit(ctx *sim.Ctx) error {
 		}
 	}
 	if tx.mvccTx != nil {
-		return tx.sys.MVCCServer.Commit(ctx, tx.mvccTx)
+		if err := tx.sys.MVCCServer.Commit(ctx, tx.mvccTx); err != nil {
+			return err
+		}
+		tx.publishDeltas(ctx)
+		return nil
 	}
+	// Publish before the locks release: lock serialization on a root makes
+	// the per-view publish order match commit order, so each changefeed lane
+	// applies deltas FIFO in commit order.
+	tx.publishDeltas(ctx)
 	return tx.releaseLocks(ctx)
+}
+
+// publishDeltas hands the transaction's deferred view deltas to the
+// changefeed, tagged with the commit timestamp: the high stamp of the
+// transaction's flushes when it owned a mutator, else the store clock (an
+// upper bound — eager-write modes stamped everything at or below it).
+func (tx *Tx) publishDeltas(ctx *sim.Ctx) {
+	if len(tx.deltas) == 0 {
+		return
+	}
+	sys := tx.sys
+	commitTS := sys.Store.CurrentTS()
+	if tx.mutator != nil {
+		if ts := tx.mutator.FlushTS(); ts > 0 {
+			commitTS = ts
+		}
+	}
+	out := make([]changefeed.Delta, len(tx.deltas))
+	for i, d := range tx.deltas {
+		d := d
+		out[i] = changefeed.Delta{View: d.view, CommitTS: commitTS, Apply: func(actx *sim.Ctx) error {
+			return sys.applyDelta(actx, d)
+		}}
+	}
+	tx.deltas = nil
+	sys.Feed.Publish(ctx, out)
+}
+
+// deferMaintenance reports whether this view's maintenance for this write
+// kind rides the changefeed instead of the writing statement.
+func (tx *Tx) deferMaintenance(kind core.WriteKind, view string) bool {
+	if tx.sys.Feed == nil {
+		return false
+	}
+	switch tx.sys.maintModeFor(view) {
+	case AsyncMaintenance:
+		return true
+	case HybridMaintenance:
+		// Inserts and deletes stay synchronous (a view tuple's existence is
+		// never stale); only the multi-row update phase is deferred.
+		return kind == core.WriteUpdate
+	}
+	return false
+}
+
+// applyDelta replays one deferred maintenance action from the changefeed
+// applier. The apply runs as its own statement-scoped write: no locks and no
+// dirty marks (readers of an async view accept staleness instead of
+// restarts), no transaction overlay (the base writes are flushed and
+// visible), and zero-TS mutations pick up fresh oracle stamps at flush — so
+// a snapshot begun after the apply sees the maintained view under every
+// concurrency mode.
+func (sys *System) applyDelta(ctx *sim.Ctx, d viewDelta) error {
+	atx := &Tx{sys: sys, opts: phoenix.WriteOpts{}}
+	switch d.parts.kind {
+	case core.WriteInsert:
+		return sys.maintainInsert(ctx, atx, d.action, d.parts)
+	case core.WriteDelete:
+		return sys.maintainDelete(ctx, atx, d.action, d.parts)
+	default:
+		return sys.maintainUpdate(ctx, atx, d.action, d.parts)
+	}
 }
 
 // Abort discards the buffered mutations unapplied, eagerly un-marks any
@@ -279,6 +363,7 @@ func (tx *Tx) Abort(ctx *sim.Ctx) error {
 		return nil
 	}
 	tx.done = true
+	tx.deltas = nil // deferred maintenance dies with the transaction
 	if tx.mutator != nil {
 		tx.mutator.Discard()
 	}
@@ -525,8 +610,14 @@ func (sys *System) executeWriteBody(ctx *sim.Ctx, tx *Tx, stmt sqlparser.Stateme
 		}
 	}
 
-	// View maintenance.
+	// View maintenance. Async (and, for updates, hybrid) views defer to the
+	// changefeed: the delta is captured now but published only if the
+	// transaction commits, so an abort leaves no view delta applied.
 	for _, action := range plan.Actions {
+		if tx.deferMaintenance(parts.kind, action.View.Name()) {
+			tx.deltas = append(tx.deltas, viewDelta{view: action.View.Name(), action: action, parts: parts})
+			continue
+		}
 		switch parts.kind {
 		case core.WriteInsert:
 			if err := sys.maintainInsert(ctx, tx, action, parts); err != nil {
