@@ -11,6 +11,7 @@
 //	synergy-bench -experiment contention -hotrows 1,4,16 -workers 8 -rounds 50 -ops 10
 //	synergy-bench -experiment contention -herd
 //	synergy-bench -experiment maintenance -views 1,4,16
+//	synergy-bench -experiment skew -skew 0,0.99,1.2 -skewwaves 40
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig10|fig11|fig12|fig13|fig14|table1|table2|table3|design|contention|maintenance|all")
+		experiment = flag.String("experiment", "all", "fig10|fig11|fig12|fig13|fig14|table1|table2|table3|design|contention|maintenance|skew|all")
 		cust       = flag.Int("cust", 1000, "TPC-W customer count (paper: 1,000,000)")
 		reps       = flag.Int("reps", 10, "repetitions per measurement (paper: 10)")
 		seed       = flag.Int64("seed", 1, "deterministic seed")
@@ -37,14 +38,36 @@ func main() {
 		ops        = flag.Int("ops", 1, "contention sweep statements per transaction")
 		herd       = flag.Bool("herd", false, "contention sweep: conflict losers retry as an overlapping wave instead of solo")
 		views      = flag.String("views", "1,4,16", "maintenance sweep view counts")
+		skews      = flag.String("skew", "0,0.99,1.2", "skew sweep Zipf exponents (0 = uniform)")
+		skewKeys   = flag.Int("skewkeys", 50000, "skew sweep keyspace size")
+		skewOps    = flag.Int("skewops", 64, "skew sweep concurrent ops per wave")
+		skewWaves  = flag.Int("skewwaves", 40, "skew sweep measured waves")
 	)
 	flag.Parse()
 
 	if err := run(*experiment, *cust, *reps, *seed, parseInts(*scales), parseInts(*locks),
-		parseInts(*hotRows), *workers, *rounds, *ops, *herd, parseInts(*views)); err != nil {
+		parseInts(*hotRows), *workers, *rounds, *ops, *herd, parseInts(*views),
+		parseFloats(*skews), bench.SkewOpts{Keys: *skewKeys, WaveOps: *skewOps, Waves: *skewWaves}); err != nil {
 		fmt.Fprintln(os.Stderr, "synergy-bench:", err)
 		os.Exit(1)
 	}
+}
+
+func parseFloats(csv string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synergy-bench: bad number %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 func parseInts(csv string) []int {
@@ -64,7 +87,7 @@ func parseInts(csv string) []int {
 	return out
 }
 
-func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows []int, workers, rounds, ops int, herd bool, views []int) error {
+func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows []int, workers, rounds, ops int, herd bool, views []int, skews []float64, skewOpts bench.SkewOpts) error {
 	needSystems := map[string]bool{"fig12": true, "fig14": true, "table2": true, "table3": true, "all": true}
 	var set *bench.SystemSet
 	if needSystems[experiment] {
@@ -131,6 +154,13 @@ func run(experiment string, cust, reps int, seed int64, scales, locks, hotRows [
 			return err
 		}
 		fmt.Println(bench.RenderMaintenance(res))
+	}
+	if want("skew") {
+		res, err := bench.RunSkew(skews, skewOpts, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderSkew(res))
 	}
 	if want("fig14") {
 		g, err := bench.RunFigure14(set, reps, seed)

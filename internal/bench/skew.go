@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"synergy/internal/cluster"
+	"synergy/internal/hbase"
+	"synergy/internal/sim"
+)
+
+// The hot-region experiment: Zipf-skewed key popularity against a region-
+// partitioned store, with and without the load balancer. It is the scaling
+// story the paper's eight-node testbed leaves implicit — §II-C's "regions
+// are the unit of distribution and load balancing" — made measurable:
+//
+//   - keys are ordered and ranks map to key order, so Zipf skew concentrates
+//     traffic on the head regions (the newest-orders / hottest-tenant
+//     pattern of range-keyed schemas);
+//   - the cluster's per-server queueing model makes every op pay the wait
+//     behind its region server's backlog, so a hot server is slow in the
+//     measured latency, not just in a counter;
+//   - the balancer (load splits + greedy moves, zk-elected) is the knob
+//     under test: off reproduces the static round-robin assignment, on lets
+//     hot regions split and spread.
+//
+// Everything runs in waves on one goroutine: each wave's ops issue
+// sequentially on fresh contexts (they all "arrive" at the model's current
+// virtual time), the virtual clock advances by the wave's makespan, and —
+// in balanced cells — the balancer ticks synchronously between waves.
+// Results are deterministic for a given seed.
+
+// SkewOpts sizes the skew sweep.
+type SkewOpts struct {
+	Keys     int // keyspace size (default 50,000)
+	Regions  int // pre-split region count (default 10)
+	WaveOps  int // concurrent ops per wave (default 64)
+	Waves    int // measured waves (default 40)
+	Warmup   int // unmeasured warm-up waves (default 10)
+	ReadFrac int // percent of ops that are reads (default 90)
+	// LoadSplitThreshold for balanced cells (default WaveOps/4): decayed
+	// per-region op score above which the balancer splits.
+	LoadSplitThreshold int
+}
+
+func (o *SkewOpts) normalize() {
+	if o.Keys <= 0 {
+		o.Keys = 50_000
+	}
+	if o.Regions <= 0 {
+		o.Regions = 10
+	}
+	if o.WaveOps <= 0 {
+		o.WaveOps = 64
+	}
+	if o.Waves <= 0 {
+		o.Waves = 40
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	} else if o.Warmup == 0 {
+		o.Warmup = 10
+	}
+	if o.ReadFrac <= 0 || o.ReadFrac > 100 {
+		o.ReadFrac = 90
+	}
+	if o.LoadSplitThreshold <= 0 {
+		o.LoadSplitThreshold = o.WaveOps / 4
+	}
+}
+
+// SkewCell is one (distribution, balancer mode) measurement.
+type SkewCell struct {
+	S        float64 // Zipf exponent; 0 = uniform
+	Balanced bool
+	// Latency is the mean per-op simulated latency across measured waves.
+	Latency Measurement
+	// QueueShare is the fraction of total simulated op time spent queued
+	// behind region-server backlogs.
+	QueueShare float64
+	// HotShare is the busiest server's fraction of measured server work.
+	HotShare float64
+	Regions  int   // final region count
+	Moves    int64 // balancer moves performed
+	Splits   int64 // balancer load splits performed
+}
+
+// SkewResult is the full sweep.
+type SkewResult struct {
+	Opts  SkewOpts
+	Ss    []float64
+	Cells map[float64]map[bool]SkewCell // s -> balanced -> cell
+}
+
+const skewTable = "skew"
+
+// skewKey maps a popularity rank to a row key. Identity order: rank r is the
+// r-th key of the sorted keyspace, so low (hot) ranks cluster in the head
+// regions.
+func skewKey(rank int) string { return fmt.Sprintf("k%08d", rank) }
+
+// RunSkew measures every (s, balancer) cell.
+func RunSkew(ss []float64, opts SkewOpts, seed int64) (*SkewResult, error) {
+	opts.normalize()
+	if len(ss) == 0 {
+		ss = []float64{0, 0.99, 1.2}
+	}
+	res := &SkewResult{Opts: opts, Ss: ss, Cells: map[float64]map[bool]SkewCell{}}
+	rng := sim.NewRNG(seed).Derive("skew")
+	for _, s := range ss {
+		res.Cells[s] = map[bool]SkewCell{}
+		for _, balanced := range []bool{false, true} {
+			cell, err := runSkewCell(s, balanced, opts, rng)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells[s][balanced] = cell
+		}
+	}
+	return res, nil
+}
+
+// runSkewCell builds a fresh cluster and drives the wave workload. Both
+// balancer modes draw the op sequence from the same derived stream, so a
+// cell pair differs only in what the balancer does.
+func runSkewCell(s float64, balanced bool, opts SkewOpts, rng *sim.RNG) (SkewCell, error) {
+	cl := cluster.NewDefault(nil)
+	cl.EnableQueueing()
+	hc := hbase.NewHCluster(cl, nil, nil)
+
+	spec := hbase.TableSpec{Name: skewTable}
+	if balanced {
+		spec.LoadSplitThreshold = opts.LoadSplitThreshold
+	}
+	stride := opts.Keys / opts.Regions
+	for b := stride; b < opts.Keys; b += stride {
+		spec.SplitKeys = append(spec.SplitKeys, skewKey(b))
+	}
+	if err := hc.CreateTable(spec); err != nil {
+		return SkewCell{}, err
+	}
+	rows := make([]hbase.BulkRow, opts.Keys)
+	for i := range rows {
+		rows[i] = hbase.BulkRow{Key: skewKey(i), Cells: []hbase.Cell{{Qualifier: "v", Value: []byte("seed")}}}
+	}
+	if err := hc.BulkLoad(skewTable, rows); err != nil {
+		return SkewCell{}, err
+	}
+
+	var bal *hbase.Balancer
+	if balanced {
+		var err error
+		bal, err = hc.NewBalancer("bench")
+		if err != nil {
+			return SkewCell{}, err
+		}
+		defer bal.Close()
+	}
+
+	// Same stream name for both balancer modes of a distribution: identical
+	// op sequences, so the balancer is the only difference between cells.
+	ops := rng.Derive(fmt.Sprintf("ops/s=%g", s))
+	zipf := sim.NewZipf(ops.Derive("rank"), opts.Keys, s)
+	mix := ops.Derive("mix")
+	client := hc.NewWarmClient()
+
+	var (
+		waveMeans  []sim.Micros
+		totalTime  sim.Micros
+		queueTime  sim.Micros
+		serverBusy = map[string]sim.Micros{}
+	)
+	baseline := map[string]sim.Micros{}
+	for _, nl := range cl.NodeLoads() {
+		baseline[nl.Node] = nl.Busy
+	}
+	totalWaves := opts.Warmup + opts.Waves
+	for wave := 0; wave < totalWaves; wave++ {
+		measured := wave >= opts.Warmup
+		var waveSum, makespan sim.Micros
+		for op := 0; op < opts.WaveOps; op++ {
+			key := skewKey(zipf.Next())
+			ctx := sim.NewCtx()
+			if mix.Intn(100) < opts.ReadFrac {
+				if _, err := client.Get(ctx, skewTable, key, hbase.ReadOpts{}); err != nil {
+					return SkewCell{}, err
+				}
+			} else {
+				err := client.Put(ctx, skewTable, key, []hbase.Cell{{Qualifier: "v", Value: []byte("w")}})
+				if err != nil {
+					return SkewCell{}, err
+				}
+			}
+			e := ctx.Elapsed()
+			waveSum += e
+			if e > makespan {
+				makespan = e
+			}
+			if measured {
+				totalTime += e
+				queueTime += ctx.Snapshot().QueueWaitTime
+			}
+		}
+		if measured {
+			waveMeans = append(waveMeans, waveSum/sim.Micros(opts.WaveOps))
+		} else if wave == opts.Warmup-1 {
+			// Server-work attribution starts at the measurement boundary.
+			for _, nl := range cl.NodeLoads() {
+				baseline[nl.Node] = nl.Busy
+			}
+		}
+		cl.Advance(makespan)
+		if bal != nil {
+			// Synchronous tick on a background context: deterministic, and
+			// none of the coordination cost lands on a client op.
+			bal.Tick(sim.NewCtx())
+		}
+	}
+
+	cell := SkewCell{S: s, Balanced: balanced, Latency: Summarize(waveMeans)}
+	if totalTime > 0 {
+		cell.QueueShare = float64(queueTime) / float64(totalTime)
+	}
+	var busyTotal, busyMax sim.Micros
+	for _, nl := range cl.NodeLoads() {
+		if cl.Node(nl.Node) == nil || cl.Node(nl.Node).Role != cluster.RoleSlave {
+			continue
+		}
+		busy := nl.Busy - baseline[nl.Node]
+		serverBusy[nl.Node] = busy
+		busyTotal += busy
+		if busy > busyMax {
+			busyMax = busy
+		}
+	}
+	if busyTotal > 0 {
+		cell.HotShare = float64(busyMax) / float64(busyTotal)
+	}
+	cell.Regions = hc.RegionCount(skewTable)
+	if bal != nil {
+		cell.Moves = bal.Moves()
+		cell.Splits = bal.Splits()
+	}
+	return cell, nil
+}
+
+// RenderSkew prints the sweep as a balancer off/on comparison per
+// distribution, with the degradation each cell shows over its uniform
+// counterpart.
+func RenderSkew(r *SkewResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hot-region load under Zipf skew (%d keys, %d ops/wave, %d waves, %d%% reads)\n",
+		r.Opts.Keys, r.Opts.WaveOps, r.Opts.Waves, r.Opts.ReadFrac)
+	fmt.Fprintf(&b, "%-12s  %-28s  %-28s\n", "", "balancer off", "balancer on")
+	fmt.Fprintf(&b, "%-12s  %-12s %-6s %-8s  %-12s %-6s %-8s %s\n",
+		"distribution", "ms/op", "xunif", "hot%", "ms/op", "xunif", "hot%", "regions/moves")
+	uniOff, uniOn := 1.0, 1.0
+	if cells, ok := r.Cells[0]; ok {
+		if c, ok := cells[false]; ok && c.Latency.Mean > 0 {
+			uniOff = c.Latency.Mean
+		}
+		if c, ok := cells[true]; ok && c.Latency.Mean > 0 {
+			uniOn = c.Latency.Mean
+		}
+	}
+	for _, s := range r.Ss {
+		off, on := r.Cells[s][false], r.Cells[s][true]
+		name := "uniform"
+		if s != 0 {
+			name = fmt.Sprintf("zipf %.2f", s)
+		}
+		fmt.Fprintf(&b, "%-12s  %-12s %-6s %-8s  %-12s %-6s %-8s %d/%d\n",
+			name,
+			off.Latency.String(), fmt.Sprintf("%.2fx", off.Latency.Mean/uniOff),
+			fmt.Sprintf("%.0f%%", off.HotShare*100),
+			on.Latency.String(), fmt.Sprintf("%.2fx", on.Latency.Mean/uniOn),
+			fmt.Sprintf("%.0f%%", on.HotShare*100),
+			on.Regions, on.Moves)
+	}
+	b.WriteString("ms/op: mean per-op simulated latency (queue wait included); xunif: vs the\n")
+	b.WriteString("uniform cell of the same column; hot%: busiest server's share of server work.\n")
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// skewTestOpts is large enough to show the acceptance margins (off-mode
+// degradation ≥ 2x under Zipf 0.99, on-mode recovery within ~1.3x of
+// uniform) but a fraction of the CLI default's runtime.
+func skewTestOpts() SkewOpts {
+	return SkewOpts{Keys: 20_000, WaveOps: 64, Waves: 16, Warmup: 8}
+}
+
+// TestSkewDeterministic: the sweep is a pure function of (ss, opts, seed) —
+// every cell, counter and region count repeats exactly.
+func TestSkewDeterministic(t *testing.T) {
+	ss := []float64{0, 0.99}
+	a, err := RunSkew(ss, skewTestOpts(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSkew(ss, skewTestOpts(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss {
+		for _, balanced := range []bool{false, true} {
+			ca, cb := a.Cells[s][balanced], b.Cells[s][balanced]
+			if ca != cb {
+				t.Fatalf("cell (s=%g, balanced=%v) not deterministic:\n  %+v\n  %+v", s, balanced, ca, cb)
+			}
+		}
+	}
+}
+
+// TestSkewBalancerRecoversHotRegionLoss is the experiment's acceptance
+// criterion: with the balancer off, Zipf skew degrades mean latency at
+// least 2x over uniform; with it on, the skewed cell lands within 1.3x of
+// its uniform counterpart, and the hot server's share of work drops.
+func TestSkewBalancerRecoversHotRegionLoss(t *testing.T) {
+	res, err := RunSkew([]float64{0, 0.99}, skewTestOpts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniOff := res.Cells[0][false].Latency.Mean
+	uniOn := res.Cells[0][true].Latency.Mean
+	off := res.Cells[0.99][false]
+	on := res.Cells[0.99][true]
+
+	if degrade := off.Latency.Mean / uniOff; degrade < 2.0 {
+		t.Fatalf("balancer-off degradation uniform→zipf = %.2fx, want >= 2x (skew must hurt)", degrade)
+	}
+	if recover := on.Latency.Mean / uniOn; recover > 1.3 {
+		t.Fatalf("balancer-on zipf/uniform = %.2fx, want <= 1.3x (balancer must fix it)", recover)
+	}
+	if on.HotShare >= off.HotShare {
+		t.Fatalf("hot-server share %0.f%% -> %.0f%% with balancing, want a drop",
+			off.HotShare*100, on.HotShare*100)
+	}
+	if on.Moves == 0 && on.Splits == 0 {
+		t.Fatal("balanced cell recovered without any balancer action — nothing was tested")
+	}
+	if off.QueueShare <= res.Cells[0][false].QueueShare {
+		t.Fatal("skewed queue-wait share should exceed uniform's")
+	}
+}
+
+// TestRenderSkew smoke-checks the report shape.
+func TestRenderSkew(t *testing.T) {
+	opts := SkewOpts{Keys: 2000, WaveOps: 16, Waves: 4, Warmup: 2}
+	res, err := RunSkew([]float64{0, 1.2}, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSkew(res)
+	for _, want := range []string{"balancer off", "balancer on", "uniform", "zipf 1.20", "ms/op"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -34,6 +34,9 @@ type Cluster struct {
 	mu    sync.RWMutex
 	nodes map[string]*Node
 	costs *sim.Costs
+	// load is the optional per-server queueing model (see load.go);
+	// disabled by default so server work charges plain service time.
+	load LoadModel
 }
 
 // New creates an empty cluster with the given latency calibration.

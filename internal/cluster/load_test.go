@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+
+	"synergy/internal/sim"
+)
+
+func TestServerWorkDisabledIsPlainCharge(t *testing.T) {
+	c := NewDefault(nil)
+	ctx := sim.NewCtx()
+	c.ServerWork(ctx, "slave-0", sim.Micros(100))
+	c.ServerWork(ctx, "slave-1", sim.Micros(50))
+	if got := ctx.Elapsed(); got != 150 {
+		t.Fatalf("disabled ServerWork elapsed = %v, want plain 150", got)
+	}
+	if s := ctx.Snapshot(); s.QueueWaits != 0 || s.QueueWaitTime != 0 {
+		t.Fatalf("disabled ServerWork recorded queue waits: %+v", s)
+	}
+	if got := len(c.NodeLoads()); got != 0 {
+		t.Fatalf("disabled model tracked %d nodes, want 0", got)
+	}
+}
+
+// TestQueueingSerializesOneServer: two simultaneous arrivals at one node run
+// FCFS — the second waits out the first's service time — while a third op on
+// a different node pays no wait at all.
+func TestQueueingSerializesOneServer(t *testing.T) {
+	c := NewDefault(nil)
+	c.EnableQueueing()
+	const w = sim.Micros(100)
+
+	first, second, elsewhere := sim.NewCtx(), sim.NewCtx(), sim.NewCtx()
+	c.ServerWork(first, "slave-0", w)
+	c.ServerWork(second, "slave-0", w)
+	c.ServerWork(elsewhere, "slave-1", w)
+
+	if got := first.Elapsed(); got != w {
+		t.Fatalf("first op elapsed = %v, want service time %v", got, w)
+	}
+	if got := second.Elapsed(); got != 2*w {
+		t.Fatalf("second op elapsed = %v, want wait+service %v", got, 2*w)
+	}
+	if s := second.Snapshot(); s.QueueWaits != 1 || s.QueueWaitTime != w {
+		t.Fatalf("second op queue counters = %d/%v, want 1/%v", s.QueueWaits, s.QueueWaitTime, w)
+	}
+	if got := elsewhere.Elapsed(); got != w {
+		t.Fatalf("other-node op elapsed = %v, want no wait (%v)", got, w)
+	}
+}
+
+// TestAdvanceDrainsBacklog: advancing the virtual clock by the wave makespan
+// empties the queue, so the next wave's first arrival is unqueued.
+func TestAdvanceDrainsBacklog(t *testing.T) {
+	c := NewDefault(nil)
+	c.EnableQueueing()
+	const w = sim.Micros(100)
+	for i := 0; i < 3; i++ {
+		c.ServerWork(sim.NewCtx(), "slave-0", w)
+	}
+	if nl := c.NodeLoads(); nl[0].Backlog != 3*w {
+		t.Fatalf("backlog = %v, want %v", nl[0].Backlog, 3*w)
+	}
+	c.Advance(3 * w)
+	if nl := c.NodeLoads(); nl[0].Backlog != 0 {
+		t.Fatalf("backlog after Advance = %v, want 0", nl[0].Backlog)
+	}
+	ctx := sim.NewCtx()
+	c.ServerWork(ctx, "slave-0", w)
+	if got := ctx.Elapsed(); got != w {
+		t.Fatalf("post-drain op elapsed = %v, want unqueued %v", got, w)
+	}
+}
+
+// TestNodeLoadsAccounting: Busy accumulates service time (never the waits),
+// Ops counts operations, and the snapshot is name-sorted.
+func TestNodeLoadsAccounting(t *testing.T) {
+	c := NewDefault(nil)
+	c.EnableQueueing()
+	c.ServerWork(sim.NewCtx(), "slave-2", sim.Micros(30))
+	c.ServerWork(sim.NewCtx(), "slave-0", sim.Micros(10))
+	c.ServerWork(sim.NewCtx(), "slave-0", sim.Micros(20))
+	nl := c.NodeLoads()
+	if len(nl) != 2 || nl[0].Node != "slave-0" || nl[1].Node != "slave-2" {
+		t.Fatalf("NodeLoads order = %+v, want slave-0 then slave-2", nl)
+	}
+	if nl[0].Busy != 30 || nl[0].Ops != 2 {
+		t.Fatalf("slave-0 busy/ops = %v/%d, want 30/2 (service only, no waits)", nl[0].Busy, nl[0].Ops)
+	}
+	if nl[1].Busy != 30 || nl[1].Ops != 1 {
+		t.Fatalf("slave-2 busy/ops = %v/%d, want 30/1", nl[1].Busy, nl[1].Ops)
+	}
+}
+
+// TestLateArrivalSkipsDrainedQueue: an op whose own elapsed time puts its
+// arrival past the node's busy horizon starts immediately — the queue
+// drained while the request was travelling.
+func TestLateArrivalSkipsDrainedQueue(t *testing.T) {
+	c := NewDefault(nil)
+	c.EnableQueueing()
+	c.ServerWork(sim.NewCtx(), "slave-0", sim.Micros(100))
+
+	late := sim.NewCtx()
+	late.Charge(sim.Micros(250)) // arrives at virtual time 250, queue drains at 100
+	c.ServerWork(late, "slave-0", sim.Micros(40))
+	if got := late.Elapsed(); got != 290 {
+		t.Fatalf("late arrival elapsed = %v, want 250+40 with no wait", got)
+	}
+	if s := late.Snapshot(); s.QueueWaits != 0 {
+		t.Fatalf("late arrival recorded a queue wait: %+v", s)
+	}
+}

@@ -17,7 +17,11 @@ type Client struct {
 
 	mu        sync.Mutex
 	connected bool
-	metaCache map[string]bool
+	// metaCache maps table name → the region-layout generation this client
+	// last looked up. A split or balancer move bumps the table's generation,
+	// so the client's next touch misses and pays one MetaLookup — the
+	// meta-cache invalidation real HBase clients experience as an NSRE retry.
+	metaCache map[string]int64
 
 	// mutPool recycles Mutation buffers across BufferedMutator flushes —
 	// the write path's dominant per-statement allocation once batching
@@ -105,7 +109,7 @@ func (c *Client) putOverlay(ov map[string]*overlayTable) {
 
 // NewClient returns a cold client running on the workload driver node.
 func (hc *HCluster) NewClient() *Client {
-	return &Client{hc: hc, node: "client-0", metaCache: make(map[string]bool)}
+	return &Client{hc: hc, node: "client-0", metaCache: make(map[string]int64)}
 }
 
 // NewWarmClient returns a client with established connections and a primed
@@ -113,37 +117,56 @@ func (hc *HCluster) NewClient() *Client {
 func (hc *HCluster) NewWarmClient() *Client {
 	c := hc.NewClient()
 	c.connected = true
-	for _, t := range hc.Tables() {
-		c.metaCache[t] = true
+	for _, name := range hc.Tables() {
+		if t, err := hc.lookup(name); err == nil {
+			c.metaCache[name] = t.gen.Load() + 1
+		}
 	}
 	return c
 }
 
 // prepare charges connection warm-up and region location lookup as needed.
-func (c *Client) prepare(ctx *sim.Ctx, tbl string) {
+// The cache is keyed by the table's region-layout generation: a split or a
+// balancer move since the last lookup means the cached locations are stale
+// and the client pays one fresh MetaLookup.
+func (c *Client) prepare(ctx *sim.Ctx, t *table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.connected {
 		ctx.Charge(c.hc.costs.ConnectionSetup)
 		c.connected = true
 	}
-	if !c.metaCache[tbl] {
+	// Cache generations are stored +1 so the zero value of a missing entry
+	// never collides with a real generation.
+	gen := t.gen.Load() + 1
+	if c.metaCache[t.spec.Name] != gen {
 		ctx.Charge(c.hc.costs.MetaLookup)
-		c.metaCache[tbl] = true
+		c.metaCache[t.spec.Name] = gen
 	}
+}
+
+// open resolves a table and charges the client's connection/meta warm-up —
+// the shared entry of every data operation.
+func (c *Client) open(ctx *sim.Ctx, tbl string) (*table, error) {
+	t, err := c.hc.lookup(tbl)
+	if err != nil {
+		return nil, err
+	}
+	c.prepare(ctx, t)
+	return t, nil
 }
 
 // Get reads one row.
 func (c *Client) Get(ctx *sim.Ctx, tbl, key string, opts ReadOpts) (RowResult, error) {
-	c.prepare(ctx, tbl)
-	t, err := c.hc.lookup(tbl)
+	t, err := c.open(ctx, tbl)
 	if err != nil {
 		return RowResult{}, err
 	}
 	r := t.regionFor(key)
+	srv := r.Server()
 	res := r.get(key, opts)
-	ctx.Charge(c.hc.costs.GetSeek)
-	c.hc.cl.RPC(ctx, c.node, r.server, res.Bytes())
+	c.hc.serverWork(ctx, srv, c.hc.costs.GetSeek)
+	c.hc.cl.RPC(ctx, c.node, srv, res.Bytes())
 	if !res.Empty() {
 		ctx.CountRowsReturned(1)
 	}
@@ -152,12 +175,12 @@ func (c *Client) Get(ctx *sim.Ctx, tbl, key string, opts ReadOpts) (RowResult, e
 
 // Put writes cells to a row. Zero-timestamp cells are stamped server-side.
 func (c *Client) Put(ctx *sim.Ctx, tbl, key string, cells []Cell) error {
-	c.prepare(ctx, tbl)
-	t, err := c.hc.lookup(tbl)
+	t, err := c.open(ctx, tbl)
 	if err != nil {
 		return err
 	}
 	r := t.regionFor(key)
+	srv := r.Server()
 	ts := c.hc.NextTS()
 	bytes := 0
 	stamped := make([]Cell, len(cells))
@@ -168,9 +191,9 @@ func (c *Client) Put(ctx *sim.Ctx, tbl, key string, cells []Cell) error {
 		stamped[i] = cell
 		bytes += len(key) + len(cell.Qualifier) + len(cell.Value) + kvOverhead
 	}
-	c.hc.cl.RPC(ctx, c.node, r.server, bytes)
-	c.hc.walAppend(ctx, r.server, bytes)
-	ctx.Charge(c.hc.costs.PutApply)
+	c.hc.cl.RPC(ctx, c.node, srv, bytes)
+	c.hc.walAppend(ctx, srv, bytes)
+	c.hc.serverWork(ctx, srv, c.hc.costs.PutApply)
 	r.put(key, stamped)
 	return nil
 }
@@ -184,8 +207,7 @@ func (c *Client) Delete(ctx *sim.Ctx, tbl, key string, qualifiers ...string) err
 // timestamp; ts == 0 uses the server clock. MVCC transactions stamp
 // tombstones with their transaction id.
 func (c *Client) DeleteAt(ctx *sim.Ctx, tbl, key string, ts int64, qualifiers ...string) error {
-	c.prepare(ctx, tbl)
-	t, err := c.hc.lookup(tbl)
+	t, err := c.open(ctx, tbl)
 	if err != nil {
 		return err
 	}
@@ -193,24 +215,25 @@ func (c *Client) DeleteAt(ctx *sim.Ctx, tbl, key string, ts int64, qualifiers ..
 		ts = c.hc.NextTS()
 	}
 	r := t.regionFor(key)
-	c.hc.cl.RPC(ctx, c.node, r.server, len(key)+32)
-	c.hc.walAppend(ctx, r.server, len(key)+32)
-	ctx.Charge(c.hc.costs.PutApply)
+	srv := r.Server()
+	c.hc.cl.RPC(ctx, c.node, srv, len(key)+32)
+	c.hc.walAppend(ctx, srv, len(key)+32)
+	c.hc.serverWork(ctx, srv, c.hc.costs.PutApply)
 	r.deleteRow(key, ts, qualifiers)
 	return nil
 }
 
 // Increment atomically adds delta to a big-endian int64 counter cell.
 func (c *Client) Increment(ctx *sim.Ctx, tbl, key, qualifier string, delta int64) (int64, error) {
-	c.prepare(ctx, tbl)
-	t, err := c.hc.lookup(tbl)
+	t, err := c.open(ctx, tbl)
 	if err != nil {
 		return 0, err
 	}
 	r := t.regionFor(key)
-	c.hc.cl.RPC(ctx, c.node, r.server, len(key)+len(qualifier)+16)
-	c.hc.walAppend(ctx, r.server, len(key)+len(qualifier)+16)
-	ctx.Charge(c.hc.costs.GetSeek + c.hc.costs.PutApply)
+	srv := r.Server()
+	c.hc.cl.RPC(ctx, c.node, srv, len(key)+len(qualifier)+16)
+	c.hc.walAppend(ctx, srv, len(key)+len(qualifier)+16)
+	c.hc.serverWork(ctx, srv, c.hc.costs.GetSeek+c.hc.costs.PutApply)
 	return r.increment(key, qualifier, delta, c.hc.NextTS()), nil
 }
 
@@ -218,22 +241,22 @@ func (c *Client) Increment(ctx *sim.Ctx, tbl, key, qualifier string, delta int64
 // equals expected (nil = absent). It is the primitive the Synergy lock tables
 // are built on (§VIII-A, §IX-C).
 func (c *Client) CheckAndPut(ctx *sim.Ctx, tbl, key, qualifier string, expected []byte, cell Cell) (bool, error) {
-	c.prepare(ctx, tbl)
-	t, err := c.hc.lookup(tbl)
+	t, err := c.open(ctx, tbl)
 	if err != nil {
 		return false, err
 	}
 	r := t.regionFor(key)
+	srv := r.Server()
 	if cell.TS == 0 {
 		cell.TS = c.hc.NextTS()
 	}
 	bytes := len(key) + len(cell.Qualifier) + len(cell.Value) + len(expected) + kvOverhead
-	c.hc.cl.RPC(ctx, c.node, r.server, bytes)
-	ctx.Charge(c.hc.costs.CheckAndPut)
+	c.hc.cl.RPC(ctx, c.node, srv, bytes)
+	c.hc.serverWork(ctx, srv, c.hc.costs.CheckAndPut)
 	ok := r.checkAndPut(key, qualifier, expected, cell)
 	if ok {
-		c.hc.walAppend(ctx, r.server, bytes)
-		ctx.Charge(c.hc.costs.PutApply)
+		c.hc.walAppend(ctx, srv, bytes)
+		c.hc.serverWork(ctx, srv, c.hc.costs.PutApply)
 	}
 	return ok, nil
 }
@@ -308,8 +331,7 @@ type Scanner struct {
 
 // Scan opens a scanner.
 func (c *Client) Scan(ctx *sim.Ctx, tbl string, spec ScanSpec) (*Scanner, error) {
-	c.prepare(ctx, tbl)
-	t, err := c.hc.lookup(tbl)
+	t, err := c.open(ctx, tbl)
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +423,7 @@ func (s *Scanner) Close(ctx *sim.Ctx) {
 // any later region is out of range.
 func (s *Scanner) fetchChunk(ctx *sim.Ctx, r *Region, resume string, want int, stop string) (rows []RowResult, next string, truncated bool) {
 	hc := s.client.hc
+	srv := r.Server()
 	rows, examined, next := r.scanChunk(resume, want, s.spec.Read, s.spec.Filter)
 	if stop != "" {
 		for len(rows) > 0 && rows[len(rows)-1].Key >= stop {
@@ -409,13 +432,13 @@ func (s *Scanner) fetchChunk(ctx *sim.Ctx, r *Region, resume string, want int, s
 		}
 	}
 	ctx.CountRowsScanned(examined)
-	ctx.Charge(sim.Micros(int64(examined) * int64(hc.costs.ScanNextRow)))
+	hc.serverWork(ctx, srv, sim.Micros(int64(examined)*int64(hc.costs.ScanNextRow)))
 	bytes := 0
 	for _, row := range rows {
 		bytes += row.Bytes()
 	}
 	ctx.CountRowsReturned(len(rows))
-	hc.cl.RPC(ctx, s.client.node, r.server, bytes)
+	hc.cl.RPC(ctx, s.client.node, srv, bytes)
 	return rows, next, truncated
 }
 
@@ -427,7 +450,7 @@ func (s *Scanner) fetch(ctx *sim.Ctx) bool {
 	for s.ri < len(s.regions) {
 		r := s.regions[s.ri]
 		if !s.opened {
-			ctx.Charge(hc.costs.ScanOpen)
+			hc.serverWork(ctx, r.Server(), hc.costs.ScanOpen)
 			s.opened = true
 			if s.resume < r.start {
 				s.resume = r.start

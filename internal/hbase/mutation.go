@@ -1,6 +1,9 @@
 package hbase
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"synergy/internal/sim"
 )
 
@@ -85,11 +88,11 @@ func (c *Client) mutateBatch(ctx *sim.Ctx, muts []Mutation) (int64, error) {
 		if _, ok := tables[muts[i].Table]; ok {
 			continue
 		}
-		c.prepare(ctx, muts[i].Table)
 		t, err := c.hc.lookup(muts[i].Table)
 		if err != nil {
 			return 0, err
 		}
+		c.prepare(ctx, t)
 		tables[muts[i].Table] = t
 	}
 	// Stamp server-side timestamps in batch order, one per mutation as the
@@ -133,19 +136,70 @@ func (c *Client) mutateBatch(ctx *sim.Ctx, muts []Mutation) (int64, error) {
 	}
 	// Independent regions dispatch in parallel in the modeled system:
 	// fork/join accounting charges the caller max(region elapsed), not the
-	// sum. The simulator applies the groups on the caller goroutine — the
-	// parallelism being modeled is network/server overlap, which lives in
-	// the charges; the local work is memstore inserts that cost less than
-	// goroutine dispatch (and a serial apply keeps the dirty-mark window
-	// tight and the run deterministic).
+	// sum, and the Join is order-independent — so whether the groups apply
+	// on the caller or on real workers, the simulated results are identical.
+	//
+	// Small batches (at most mutateInlineGroups regions) apply inline on the
+	// caller: goroutine dispatch for two or three memstore inserts costs more
+	// than it saves, and the serial apply keeps the dirty-mark window tight.
+	// Larger fan-outs — a view-maintaining write touching many regions —
+	// apply on a bounded pool of Costs.MutateParallelism lanes, each group
+	// claimed exactly once off a shared counter. The caller is lane zero and
+	// keeps draining groups itself, so a flush is never slower than the old
+	// serial apply while spawned helpers get scheduled — that matters to the
+	// OCC path, where flush wall-time is a window other transactions' begin
+	// snapshots are lowered through. Timestamps were stamped in batch order
+	// above, the groups hold disjoint regions, and the WAL counters are
+	// lock-protected, so lane scheduling cannot change what is written; the
+	// Join below is a max over children regardless of completion order.
 	children := make([]*sim.Ctx, len(groups))
-	for i, g := range groups {
-		children[i] = ctx.Fork()
-		c.applyGroup(children[i], g)
+	if len(groups) <= mutateInlineGroups || len(muts) < mutatePoolMinMuts {
+		for i, g := range groups {
+			children[i] = ctx.Fork()
+			c.applyGroup(children[i], g)
+		}
+	} else {
+		var next atomic.Int64
+		drain := func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(groups) {
+					return
+				}
+				children[i] = ctx.Fork()
+				c.applyGroup(children[i], groups[i])
+			}
+		}
+		helpers := c.hc.costs.MutateParallelism - 1
+		if max := len(groups) - 1; helpers > max {
+			helpers = max
+		}
+		var wg sync.WaitGroup
+		wg.Add(helpers)
+		for w := 0; w < helpers; w++ {
+			go func() {
+				defer wg.Done()
+				drain()
+			}()
+		}
+		drain()
+		wg.Wait()
 	}
 	ctx.Join(children...)
 	return maxTS, nil
 }
+
+// mutateInlineGroups is the region-group count at or below which MutateBatch
+// applies inline on the caller instead of dispatching the worker pool, and
+// mutatePoolMinMuts is the batch size below which it stays inline no matter
+// how many regions the batch touches: scheduling helpers costs microseconds
+// of wall time, which only amortizes when the lanes have real work — and an
+// OCC commit's flush window must stay tight, since in-flight flush
+// watermarks lower every concurrent transaction's begin snapshot.
+const (
+	mutateInlineGroups = 3
+	mutatePoolMinMuts  = 64
+)
 
 // applyGroup ships one region's mutations, splitting at MutateMaxBatch. Each
 // sub-batch pays one RPC + batch overhead + one WAL sync, plus the per-
@@ -160,21 +214,24 @@ func (c *Client) applyGroup(ctx *sim.Ctx, g *regionGroup) {
 	}
 	for off := 0; off < len(g.muts); off += maxBatch {
 		chunk := g.muts[off:min(off+maxBatch, len(g.muts))]
+		// Resolve the hosting server per sub-batch RPC: a balancer move
+		// between sub-batches routes the rest of the group (and its WAL
+		// edits) to the region's new owner.
+		srv := g.region.Server()
 		bytes := 0
 		for i := range chunk {
 			bytes += chunk[i].bytes()
 		}
-		hc.cl.RPC(ctx, c.node, g.region.server, bytes)
+		hc.cl.RPC(ctx, c.node, srv, bytes)
+		serverCost := sim.Micros(int64(len(chunk)) * int64(hc.costs.PutApply))
 		if len(chunk) > 1 {
-			ctx.Charge(hc.costs.MutateBatchOverhead)
+			serverCost += hc.costs.MutateBatchOverhead
+			serverCost += sim.Micros(int64(len(chunk)) * int64(hc.costs.MutatePerMutation))
 		}
-		hc.walAppendBatch(ctx, g.region.server, bytes, len(chunk))
+		hc.serverWork(ctx, srv, serverCost)
+		hc.walAppendBatch(ctx, srv, bytes, len(chunk))
 		for i := range chunk {
 			m := &chunk[i]
-			ctx.Charge(hc.costs.PutApply)
-			if len(chunk) > 1 {
-				ctx.Charge(hc.costs.MutatePerMutation)
-			}
 			if m.Delete {
 				g.region.deleteRow(m.Key, m.TS, m.Qualifiers)
 			} else {

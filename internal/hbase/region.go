@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // hrow is one row inside an immutable store file.
@@ -79,11 +80,60 @@ type Region struct {
 	mem   *memStore
 	files []*hfile
 
+	// srvMu guards server. The balancer reassigns regions concurrently with
+	// requests reading the assignment, so the field has its own lock instead
+	// of riding r.mu (scans hold r.mu for whole chunks).
+	srvMu  sync.Mutex
 	server string // hosting region server node
+
+	// loadReads/loadWrites are the decayed op counters behind load-triggered
+	// splits and balancer placement. Recording is a lone atomic add — it
+	// charges no simulated time, so enabling load accounting cannot perturb
+	// any latency figure.
+	loadReads  atomic.Int64
+	loadWrites atomic.Int64
+
+	// daughters is set (under mu) when the region splits: the region becomes
+	// a forwarding shell. In-flight readers drain against its flushed, shared
+	// store files, but writes arriving through a stale *Region — a mutation
+	// batch grouped before a concurrent split — forward to the daughter that
+	// owns the key, so no write ever lands in a dead memstore.
+	daughters []*Region
 }
 
 func newRegion(spec *TableSpec, start, end string) *Region {
 	return &Region{spec: spec, start: start, end: end, mem: newMemStore()}
+}
+
+// Server reports the region server currently hosting the region.
+func (r *Region) Server() string {
+	r.srvMu.Lock()
+	defer r.srvMu.Unlock()
+	return r.server
+}
+
+func (r *Region) setServer(s string) {
+	r.srvMu.Lock()
+	r.server = s
+	r.srvMu.Unlock()
+}
+
+// recordRead/recordWrite tally server-side ops against the region's load
+// counters (reads are weighted by rows examined; writes by mutations).
+func (r *Region) recordRead(n int)  { r.loadReads.Add(int64(n)) }
+func (r *Region) recordWrite(n int) { r.loadWrites.Add(int64(n)) }
+
+// loadScore is the region's current hotness: examined-row reads plus
+// mutations, both since the last decay.
+func (r *Region) loadScore() int64 {
+	return r.loadReads.Load() + r.loadWrites.Load()
+}
+
+// decayLoad halves the load counters — the balancer's exponential decay, so
+// a region that cooled off stops looking hot after a few ticks.
+func (r *Region) decayLoad() {
+	r.loadReads.Store(r.loadReads.Load() / 2)
+	r.loadWrites.Store(r.loadWrites.Load() / 2)
 }
 
 // contains reports whether key belongs to this region.
@@ -117,6 +167,7 @@ func (r *Region) lookupLocked(key string) *rowData {
 
 // get reads one row.
 func (r *Region) get(key string, opts ReadOpts) RowResult {
+	r.recordRead(1)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	rd := r.lookupLocked(key)
@@ -126,10 +177,27 @@ func (r *Region) get(key string, opts ReadOpts) RowResult {
 	return RowResult{Key: key, Cells: rd.read(opts)}
 }
 
+// daughterFor returns the daughter owning key when the region has split, or
+// nil while the region is live. Caller holds r.mu (either mode).
+func (r *Region) daughterFor(key string) *Region {
+	for _, d := range r.daughters {
+		if d.contains(key) {
+			return d
+		}
+	}
+	return nil
+}
+
 // put applies cells to a row.
 func (r *Region) put(key string, cells []Cell) {
 	r.mu.Lock()
+	if d := r.daughterFor(key); d != nil {
+		r.mu.Unlock()
+		d.put(key, cells)
+		return
+	}
 	defer r.mu.Unlock()
+	r.recordWrite(1)
 	rd := r.mem.upsert(key)
 	for _, c := range cells {
 		rd.apply(c, r.spec.MaxVersions)
@@ -140,7 +208,13 @@ func (r *Region) put(key string, cells []Cell) {
 // given.
 func (r *Region) deleteRow(key string, ts int64, qualifiers []string) {
 	r.mu.Lock()
+	if d := r.daughterFor(key); d != nil {
+		r.mu.Unlock()
+		d.deleteRow(key, ts, qualifiers)
+		return
+	}
 	defer r.mu.Unlock()
+	r.recordWrite(1)
 	rd := r.mem.upsert(key)
 	if len(qualifiers) == 0 {
 		rd.apply(Cell{Qualifier: "", TS: ts, Type: TypeDeleteRow}, r.spec.MaxVersions)
@@ -156,7 +230,12 @@ func (r *Region) deleteRow(key string, ts int64, qualifiers []string) {
 // match. Returns whether the put was applied.
 func (r *Region) checkAndPut(key, qualifier string, expected []byte, c Cell) bool {
 	r.mu.Lock()
+	if d := r.daughterFor(key); d != nil {
+		r.mu.Unlock()
+		return d.checkAndPut(key, qualifier, expected, c)
+	}
 	defer r.mu.Unlock()
+	r.recordWrite(1)
 	var current []byte
 	if rd := r.lookupLocked(key); rd != nil {
 		current = rd.read(ReadOpts{}).Get(qualifier)
@@ -173,7 +252,12 @@ func (r *Region) checkAndPut(key, qualifier string, expected []byte, c Cell) boo
 // value.
 func (r *Region) increment(key, qualifier string, delta int64, ts int64) int64 {
 	r.mu.Lock()
+	if d := r.daughterFor(key); d != nil {
+		r.mu.Unlock()
+		return d.increment(key, qualifier, delta, ts)
+	}
 	defer r.mu.Unlock()
+	r.recordWrite(1)
 	var cur int64
 	if rd := r.lookupLocked(key); rd != nil {
 		if v := rd.read(ReadOpts{}).Get(qualifier); len(v) == 8 {
@@ -193,6 +277,7 @@ func (r *Region) increment(key, qualifier string, delta int64, ts int64) int64 {
 // the region is exhausted). filter, when non-nil, drops rows server-side
 // (they still count as examined).
 func (r *Region) scanChunk(start string, limit int, opts ReadOpts, filter func(RowResult) bool) (rows []RowResult, examined int, next string) {
+	defer func() { r.recordRead(examined) }()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 
@@ -326,13 +411,22 @@ func (r *Region) midKey() string {
 		}
 	}
 	if biggest == nil || len(biggest.rows) < 2 {
-		return ""
+		// No (usable) store file yet. Load-triggered splits arrive before the
+		// first flush on write-hot regions, so fall back to the memstore's
+		// sorted keys rather than refusing to split.
+		if r.mem.len() < 2 {
+			return ""
+		}
+		keys := r.mem.sortedKeys()
+		return keys[len(keys)/2]
 	}
 	return biggest.rows[len(biggest.rows)/2].key
 }
 
 // split divides the region at key, returning the two halves. The receiver
-// must no longer be used afterwards.
+// becomes a forwarding shell: readers still holding it drain against its
+// flushed store files (shared with the daughters), and late writes forward
+// to the daughter owning the key.
 func (r *Region) split(key string) (*Region, *Region) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -348,5 +442,13 @@ func (r *Region) split(key string) (*Region, *Region) {
 			right.files = append(right.files, &hfile{rows: f.rows[cut:]})
 		}
 	}
+	// Each daughter inherits half the parent's load history, so a split hot
+	// region does not instantly re-trigger a load split and the balancer's
+	// next tick still sees the heat where it actually lives.
+	left.loadReads.Store(r.loadReads.Load() / 2)
+	left.loadWrites.Store(r.loadWrites.Load() / 2)
+	right.loadReads.Store(r.loadReads.Load() / 2)
+	right.loadWrites.Store(r.loadWrites.Load() / 2)
+	r.daughters = []*Region{left, right}
 	return left, right
 }

@@ -101,10 +101,12 @@ func startParScan(ctx *sim.Ctx, s *Scanner, pool *scanPool) *parScanner {
 func (p *parScanner) openRegion(i int) (resume string) {
 	start, _ := p.s.spec.bounds()
 	resume = start
-	if r := p.s.regions[i]; resume < r.start {
+	r := p.s.regions[i]
+	if resume < r.start {
 		resume = r.start
 	}
-	p.streams[i].ctx.Charge(p.s.client.hc.costs.ScanOpen)
+	hc := p.s.client.hc
+	hc.serverWork(p.streams[i].ctx, r.Server(), hc.costs.ScanOpen)
 	return resume
 }
 

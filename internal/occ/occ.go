@@ -66,6 +66,14 @@ type Validator struct {
 	// reader ever observes half of a multi-region commit.
 	flushing  map[int64]struct{}
 	committed []commitRec
+	// writeIdx maps every key in a retained committed write set to the
+	// newest retained commit that wrote it. Point validation probes it —
+	// one hash lookup per read-set point — instead of walking committed;
+	// "newest start >= snap" is exactly "some conflicting commit exists",
+	// because any other commit of the key has an older start. The record
+	// slice remains the source of truth for range (phantom) validation and
+	// for rebuilding the index on the rare AbandonFlush.
+	writeIdx map[string]int64
 	// stats
 	begun, commits, aborts, conflicts int64
 }
@@ -89,6 +97,7 @@ func NewValidatorWithOracle(costs *sim.Costs, next func() int64) *Validator {
 		next:     next,
 		active:   map[*Tx]struct{}{},
 		flushing: map[int64]struct{}{},
+		writeIdx: map[string]int64{},
 	}
 }
 
@@ -203,26 +212,46 @@ func (v *Validator) Validate(ctx *sim.Ctx, t *Tx, stampPending func(next func() 
 		return ErrFinished
 	}
 	delete(v.active, t)
-	for i := range v.committed {
-		rec := &v.committed[i]
-		if rec.start < t.snap {
-			continue // fully visible in our snapshot: not a conflict
-		}
-		if key, clash := t.rs.overlaps(rec.writes); clash {
+	// Point reads probe the write index: O(read set), independent of how
+	// many commit records the active-transaction horizon retains.
+	for p := range t.rs.points {
+		if start, ok := v.writeIdx[p]; ok && start >= t.snap {
 			t.done = true
 			v.aborts++
 			v.conflicts++
-			return fmt.Errorf("%w: read of %s overlaps a write committed after snapshot %d", ErrConflict, describeKey(key), t.snap)
+			return fmt.Errorf("%w: read of %s overlaps a write committed after snapshot %d", ErrConflict, describeKey(p), t.snap)
 		}
-		// Blind write-write overlap (no read of the row, e.g. two
-		// concurrent upserts): also non-serializable under last-writer-
-		// wins flushing, so it aborts too.
-		for w := range t.writes {
-			if _, clash := rec.writes[w]; clash {
-				t.done = true
-				v.aborts++
-				v.conflicts++
-				return fmt.Errorf("%w: write of %s overlaps a write committed after snapshot %d", ErrConflict, describeKey(w), t.snap)
+	}
+	// Blind write-write overlap (no read of the row, e.g. two concurrent
+	// upserts): also non-serializable under last-writer-wins flushing, so
+	// it aborts too. Same probe.
+	for w := range t.writes {
+		if start, ok := v.writeIdx[w]; ok && start >= t.snap {
+			t.done = true
+			v.aborts++
+			v.conflicts++
+			return fmt.Errorf("%w: write of %s overlaps a write committed after snapshot %d", ErrConflict, describeKey(w), t.snap)
+		}
+	}
+	// Scan ranges cannot be hash-probed; only transactions that scanned
+	// walk the retained records, and only the records above their snapshot.
+	if len(t.rs.ranges) > 0 {
+		for i := range v.committed {
+			rec := &v.committed[i]
+			if rec.start < t.snap {
+				continue // fully visible in our snapshot: not a conflict
+			}
+			for w := range rec.writes {
+				tbl, key := splitWriteKey(w)
+				for _, r := range t.rs.ranges {
+					if r.Table != tbl || !r.contains(key) {
+						continue
+					}
+					t.done = true
+					v.aborts++
+					v.conflicts++
+					return fmt.Errorf("%w: read of %s overlaps a write committed after snapshot %d", ErrConflict, describeKey(w), t.snap)
+				}
 			}
 		}
 	}
@@ -236,6 +265,9 @@ func (v *Validator) Validate(ctx *sim.Ctx, t *Tx, stampPending func(next func() 
 		}
 		v.flushing[t.commitStart] = struct{}{}
 		v.committed = append(v.committed, commitRec{start: t.commitStart, writes: t.writes})
+		for w := range t.writes {
+			v.writeIdx[w] = t.commitStart // newest commit of the key, by construction
+		}
 		v.gcLocked()
 	} else if stampPending != nil {
 		pending = stampPending(v.next)
@@ -273,6 +305,17 @@ func (v *Validator) AbandonFlush(ctx *sim.Ctx, t *Tx) {
 			tail[i] = commitRec{}
 		}
 		v.committed = kept
+		// The dead commit may have shadowed older commits of the same keys
+		// in the index; this path is rare (flush failure), so rebuild from
+		// the survivors instead of reasoning about shadowing.
+		v.writeIdx = make(map[string]int64, len(v.writeIdx))
+		for _, rec := range v.committed {
+			for w := range rec.writes {
+				if cur, ok := v.writeIdx[w]; !ok || rec.start > cur {
+					v.writeIdx[w] = rec.start
+				}
+			}
+		}
 		t.commitStart = 0
 	}
 	v.aborts++
@@ -336,13 +379,26 @@ func (v *Validator) gcLocked() {
 	for i := range tail {
 		tail[i] = commitRec{}
 	}
+	dropped := len(tail) > 0
 	v.committed = kept
+	if dropped {
+		// An index entry below the horizon has no surviving record: every
+		// commit of its key is at most the (dropped) newest one.
+		for k, start := range v.writeIdx {
+			if start < minSnap {
+				delete(v.writeIdx, k)
+			}
+		}
+	}
 }
 
 // Stats reports validator counters.
 type Stats struct {
 	Begun, Commits, Aborts, Conflicts int64
 	RetainedWriteSets                 int
+	// IndexedKeys is the committed write-set index size; it shrinks with
+	// RetainedWriteSets as the active-transaction horizon advances.
+	IndexedKeys int
 }
 
 // Stats returns a snapshot of the validator counters.
@@ -352,6 +408,7 @@ func (v *Validator) Stats() Stats {
 	return Stats{
 		Begun: v.begun, Commits: v.commits, Aborts: v.aborts, Conflicts: v.conflicts,
 		RetainedWriteSets: len(v.committed),
+		IndexedKeys:       len(v.writeIdx),
 	}
 }
 

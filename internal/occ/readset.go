@@ -51,37 +51,6 @@ func (rs *ReadSet) AddRange(r Range) { rs.ranges = append(rs.ranges, r) }
 // validation cost model scales with.
 func (rs *ReadSet) Len() int { return len(rs.points) + len(rs.ranges) }
 
-// overlaps reports whether any committed write ("table\x00key" keys) hits
-// the read set, returning the first overlapping write key.
-func (rs *ReadSet) overlaps(writes map[string]struct{}) (string, bool) {
-	// Iterate the smaller side for the point check.
-	if len(rs.points) <= len(writes) {
-		for p := range rs.points {
-			if _, hit := writes[p]; hit {
-				return p, true
-			}
-		}
-	} else {
-		for w := range writes {
-			if _, hit := rs.points[w]; hit {
-				return w, true
-			}
-		}
-	}
-	if len(rs.ranges) == 0 {
-		return "", false
-	}
-	for w := range writes {
-		tbl, key := splitWriteKey(w)
-		for _, r := range rs.ranges {
-			if r.Table == tbl && r.contains(key) {
-				return w, true
-			}
-		}
-	}
-	return "", false
-}
-
 func splitWriteKey(w string) (table, key string) {
 	for i := 0; i < len(w); i++ {
 		if w[i] == 0 {

@@ -60,6 +60,12 @@ type Costs struct {
 	// region groups split into multiple RPCs (HBase
 	// hbase.client.write.buffer in rows rather than bytes).
 	MutateMaxBatch int
+	// MutateParallelism bounds the worker goroutines a multi-region batch
+	// dispatches its region groups on. Batches touching at most
+	// mutateInlineGroups regions apply inline on the caller — goroutine
+	// dispatch for two or three memstore inserts costs more than it saves
+	// (the PR-2 -race starvation note).
+	MutateParallelism int
 	// PerByte is the network transfer cost per payload byte shipped
 	// between nodes.
 	PerByte PerByteCost
@@ -164,6 +170,12 @@ type Costs struct {
 	// must wait for the applier (the wait itself additionally charges the
 	// applier work the reader blocked on).
 	WatermarkWait Micros
+
+	// RegionMove is the cost of relocating one region between region
+	// servers — closing it on the source, opening it on the destination and
+	// updating hbase:meta — charged to the balancer's context, not to client
+	// requests (in-flight operations drain against the old assignment).
+	RegionMove Micros
 }
 
 // LockBackoff returns the simulated wait before retry number attempt
@@ -211,6 +223,7 @@ func DefaultCosts() *Costs {
 		MutateBatchOverhead: FromMillis(0.10),
 		MutatePerMutation:   Micros(3),
 		MutateMaxBatch:      500,
+		MutateParallelism:   8,
 
 		ScannerBatch:    1000,
 		ScanParallelism: 8,
@@ -244,5 +257,7 @@ func DefaultCosts() *Costs {
 		AsyncQueueHop:   FromMillis(0.05),
 		AsyncApplyBatch: FromMillis(0.15),
 		WatermarkWait:   FromMillis(0.25),
+
+		RegionMove: FromMillis(25),
 	}
 }

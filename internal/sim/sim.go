@@ -69,6 +69,8 @@ type Ctx struct {
 	staleReads     atomic.Int64
 	staleLag       atomic.Int64
 	watermarkWaits atomic.Int64
+	queueWaits     atomic.Int64
+	queueWaitTime  atomic.Int64
 }
 
 // NewCtx returns a fresh request context with zero elapsed time.
@@ -169,6 +171,8 @@ func (c *Ctx) addCounters(ch *Ctx) {
 	c.staleReads.Add(ch.staleReads.Load())
 	c.staleLag.Add(ch.staleLag.Load())
 	c.watermarkWaits.Add(ch.watermarkWaits.Load())
+	c.queueWaits.Add(ch.queueWaits.Load())
+	c.queueWaitTime.Add(ch.queueWaitTime.Load())
 }
 
 // Reset zeroes the context so it can be reused for a new request.
@@ -184,6 +188,8 @@ func (c *Ctx) Reset() {
 	c.staleReads.Store(0)
 	c.staleLag.Store(0)
 	c.watermarkWaits.Store(0)
+	c.queueWaits.Store(0)
+	c.queueWaitTime.Store(0)
 }
 
 // CountRPC records an RPC round trip (the latency is charged separately by
@@ -257,6 +263,16 @@ func (c *Ctx) CountWatermarkWait() {
 	}
 }
 
+// CountQueueWait records one server-side operation that queued behind a
+// region server's outstanding load under the per-server queueing model,
+// with the simulated wait it paid.
+func (c *Ctx) CountQueueWait(wait Micros) {
+	if c != nil {
+		c.queueWaits.Add(1)
+		c.queueWaitTime.Add(int64(wait))
+	}
+}
+
 // Stats is a snapshot of the work counters of a Ctx.
 type Stats struct {
 	RPCs         int64
@@ -272,7 +288,11 @@ type Stats struct {
 	StaleLag   int64
 	// WatermarkWaits counts reads that blocked on a view freshness watermark.
 	WatermarkWaits int64
-	Elapsed        Micros
+	// QueueWaits counts server-side operations that queued behind a region
+	// server's outstanding load; QueueWaitTime is their summed simulated wait.
+	QueueWaits    int64
+	QueueWaitTime Micros
+	Elapsed       Micros
 }
 
 // Snapshot returns the current work counters.
@@ -291,6 +311,8 @@ func (c *Ctx) Snapshot() Stats {
 		StaleReads:     c.staleReads.Load(),
 		StaleLag:       c.staleLag.Load(),
 		WatermarkWaits: c.watermarkWaits.Load(),
+		QueueWaits:     c.queueWaits.Load(),
+		QueueWaitTime:  Micros(c.queueWaitTime.Load()),
 		Elapsed:        c.Elapsed(),
 	}
 }
