@@ -11,12 +11,12 @@
 //
 //	go run ./cmd/benchjson -compare BENCH_baseline.json BENCH.json -tolerance 1.5x
 //
-// allocs/op is guarded alongside it (default tolerance 1.25x, override
-// with -alloc-tolerance), so allocation wins stay pinned the same way
-// latency wins do. Allocation counts are deterministic for a fixed Go
-// toolchain; small-count benchmarks (under allocFloor allocations) are
-// exempt from the ratio check because a single extra allocation would trip
-// it.
+// allocs/op and B/op are guarded alongside it (default tolerance 1.25x,
+// override with -alloc-tolerance), so allocation wins — both count and
+// bytes — stay pinned the same way latency wins do. Both are deterministic
+// for a fixed Go toolchain; small benchmarks (under allocFloor allocations
+// or bytesFloor bytes) are exempt from the ratio checks because one
+// incidental allocation would trip them.
 //
 // Benchmark names are matched with their -<GOMAXPROCS> suffix stripped, so a
 // baseline recorded on an 8-core machine guards a 4-core CI runner.
@@ -169,6 +169,15 @@ const regressFloor = 0.01
 // hot-path regression.
 const allocFloor = 500
 
+// bytesMetric guards allocated bytes with the same tolerance as allocs/op:
+// the arena scan path's wins are mostly byte wins (few large buffers
+// replacing many small ones), which a count-only guard would not hold.
+const bytesMetric = "B/op"
+
+// bytesFloor exempts benchmarks allocating less than this many bytes per
+// op, the B/op analogue of allocFloor.
+const bytesFloor = 16 << 10
+
 func runCompare(oldPath, newPath string, tolerance, allocTolerance float64) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -221,11 +230,27 @@ func runCompare(oldPath, newPath string, tolerance, allocTolerance float64) int 
 			}
 			if !counted {
 				compared++
+				counted = true
 			}
 			if newAllocs > oldAllocs*allocTolerance {
 				regressions++
 				fmt.Printf("REGRESSION %-60s %10.0f -> %10.0f %s (%.2fx > %.2fx tolerance)\n",
 					name, oldAllocs, newAllocs, allocMetric, newAllocs/oldAllocs, allocTolerance)
+			}
+		}
+		if oldBytes, hasBytes := ob.Metrics[bytesMetric]; hasBytes && oldBytes >= bytesFloor {
+			newBytes, ok := nb.Metrics[bytesMetric]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s lost its %s metric\n", name, bytesMetric)
+				continue
+			}
+			if !counted {
+				compared++
+			}
+			if newBytes > oldBytes*allocTolerance {
+				regressions++
+				fmt.Printf("REGRESSION %-60s %10.0f -> %10.0f %s (%.2fx > %.2fx tolerance)\n",
+					name, oldBytes, newBytes, bytesMetric, newBytes/oldBytes, allocTolerance)
 			}
 		}
 	}

@@ -1,0 +1,31 @@
+// Package violation is a cellsvet fixture: every function below breaks
+// the Cells immutability rule in one of the flagged ways. It lives under
+// testdata so neither the go tool nor the repo-wide cellsvet sweep picks
+// it up; cellsvet's own test points the checker here and asserts it fails.
+package violation
+
+import "synergy/internal/hbase"
+
+func appendToCells(r hbase.RowResult) hbase.Cells {
+	return append(r.Cells, hbase.Pair{Qualifier: "q"})
+}
+
+func writeThroughElement(c hbase.Cells) {
+	c[0].Qualifier = "clobbered"
+}
+
+func writeThroughValueBytes(c hbase.Cells) {
+	c[0].Value[0] = 'x'
+}
+
+func capacitySurgery(c hbase.Cells) hbase.Cells {
+	return c[0:1:2]
+}
+
+// ownedMutation is exempt: the marker below is what cellsvet honors.
+//
+//cellsvet:owner
+func ownedMutation(c hbase.Cells) hbase.Cells {
+	c[0].Qualifier = "fine"
+	return append(c, hbase.Pair{})
+}

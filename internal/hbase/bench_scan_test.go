@@ -106,12 +106,16 @@ func BenchmarkScanChunkMerge(b *testing.B) {
 		}
 		r.flush()
 	}
+	buf := &chunkBuf{}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		got, _, _ := r.scanChunk("", 0, ReadOpts{}, nil)
-		if len(got) != rows {
-			b.Fatalf("rows = %d, want %d", len(got), rows)
+		buf.reset()
+		if _, next := r.scanChunk(buf, "", 0, ReadOpts{}, nil); next != "" {
+			b.Fatalf("next = %q, want exhausted", next)
+		}
+		if len(buf.rows) != rows {
+			b.Fatalf("rows = %d, want %d", len(buf.rows), rows)
 		}
 	}
 }

@@ -22,6 +22,9 @@ import (
 //
 // CI runs this for a short -fuzztime as a smoke step; run it longer
 // locally when touching rowdata.go or merge.go.
+//
+// The aliasing phase at the end deliberately scribbles over a returned
+// Cells to prove reads stay independent (cellsvet:owner).
 func FuzzCellsMerge(f *testing.F) {
 	f.Add([]byte{0x01, 0x22, 0x43, 0x10, 0x05})
 	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0x33, 0x9a, 0x02, 0x41})
@@ -91,6 +94,24 @@ func FuzzCellsMerge(f *testing.F) {
 			}
 			if got.Get("absent-qualifier") != nil {
 				t.Fatalf("opts %d: Get of absent qualifier returned a value", oi)
+			}
+		}
+
+		// Aliasing: a returned Cells is freshly materialized — clobbering
+		// every pair in it (structs, not the shared Value bytes) must not
+		// change what a later read or an earlier Clone observes.
+		scribbled := m.read(ReadOpts{})
+		snap := scribbled.Clone()
+		for i := range scribbled {
+			scribbled[i] = Pair{Qualifier: "zz-scribble", Value: []byte("scribble")}
+		}
+		fresh := m.read(ReadOpts{})
+		if len(fresh) != len(snap) {
+			t.Fatalf("scribbling a returned Cells changed a later read: %d vs %d pairs", len(fresh), len(snap))
+		}
+		for i := range fresh {
+			if fresh[i].Qualifier != snap[i].Qualifier || !bytes.Equal(fresh[i].Value, snap[i].Value) {
+				t.Fatalf("scribbling a returned Cells leaked into pair %d: %+v vs %+v", i, fresh[i], snap[i])
 			}
 		}
 

@@ -164,3 +164,81 @@ func TestSortedQualifiersView(t *testing.T) {
 		t.Fatalf("Cells.Get allocates %v per call, want 0", allocs)
 	}
 }
+
+// TestReturnedRowAliasing pins the contract behind the arena scan path: a
+// row handed out by Get, Next or All may be scribbled over (Pair structs,
+// never the shared Value bytes) without disturbing the store or any other
+// returned row. Point reads are caller-stable; stream rows are compared
+// through Clone, the supported way to retain them past the next Next.
+//
+// The scribbling below is deliberate rule-breaking to prove independence
+// (cellsvet:owner).
+func TestReturnedRowAliasing(t *testing.T) {
+	_, c := buildScanFixture(t, 600, 3)
+
+	// Point get: scribble the returned Cells, read again, compare.
+	key := scanKey(42)
+	first, err := c.Get(sim.NewCtx(), "t", key, ReadOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := first.Clone()
+	for i := range first.Cells {
+		first.Cells[i] = Pair{Qualifier: "zz", Value: []byte("scribble")}
+	}
+	second, err := c.Get(sim.NewCtx(), "t", key, ReadOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameCells(t, "point get after scribble", second.Cells, snap.Cells)
+
+	// Scan: clone every row, scribble the live window after cloning; the
+	// clones and a fresh scan must be untouched. Appending to a window
+	// must reallocate (windows are capacity-clipped), never write the
+	// arena cell that belongs to the next row.
+	for _, seq := range []bool{true, false} {
+		ctx := sim.NewCtx()
+		sc, err := c.Scan(ctx, "t", ScanSpec{Sequential: seq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var clones []RowResult
+		for {
+			row, ok := sc.Next(ctx)
+			if !ok {
+				break
+			}
+			clones = append(clones, row.Clone())
+			grown := append(row.Cells, Pair{Qualifier: "zz", Value: []byte("overflow")})
+			_ = grown
+			for i := range row.Cells {
+				row.Cells[i] = Pair{Qualifier: "zz", Value: []byte("scribble")}
+			}
+		}
+		rescan, _ := drainSpec(t, c, ScanSpec{Sequential: seq})
+		if len(rescan) != len(clones) {
+			t.Fatalf("sequential=%v: scribbled scan left %d rows, clean rescan %d", seq, len(clones), len(rescan))
+		}
+		for i := range rescan {
+			if rescan[i].Key != clones[i].Key {
+				t.Fatalf("sequential=%v row %d: key %q vs clone %q", seq, i, rescan[i].Key, clones[i].Key)
+			}
+			requireSameCells(t, fmt.Sprintf("sequential=%v row %s", seq, rescan[i].Key), rescan[i].Cells, clones[i].Cells)
+		}
+	}
+}
+
+// requireSameCells fails unless both Cells hold the same qualifier/value
+// pairs in the same order.
+func requireSameCells(t testing.TB, where string, got, want Cells) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs vs %d", where, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Qualifier != want[i].Qualifier || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("%s: pair %d: %s=%q vs %s=%q", where, i,
+				got[i].Qualifier, got[i].Value, want[i].Qualifier, want[i].Value)
+		}
+	}
+}

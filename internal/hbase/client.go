@@ -34,6 +34,12 @@ type Client struct {
 	overlayPool sync.Pool
 	otPool      sync.Pool
 
+	// chunkPool recycles scan chunk buffers (rows + cell arena) across the
+	// client's scanners — the read path's dominant allocation once rows
+	// stopped being materialized one slice at a time. See chunkBuf for the
+	// ownership protocol.
+	chunkPool sync.Pool
+
 	// pool is the client's shared scatter-gather scan pool (lazily built;
 	// guarded by mu). All of the client's parallel scans draw region-fetch
 	// workers from it, modeling Phoenix's global thread pool: a client's
@@ -90,14 +96,22 @@ func (c *Client) getOverlayTable() *overlayTable {
 	return newOverlayTable()
 }
 
-// putOverlay recycles an overlay index and its tables. The pending rowData
-// values are released to the GC — returned RowResults may still alias their
-// cell values — but the maps and slices, the bulk of the steady-state
-// allocation churn, are reused. Safe only once nothing reads through the
-// overlay anymore, which the BufferedMutator contract already guarantees
-// (one request, scans drained before a flush boundary).
+// putOverlay recycles an overlay index, its tables, and the pending rowData
+// structs themselves onto each table's freelist. Recycling the rowDatas is
+// safe because no returned RowResult aliases a pending cell slice — every
+// overlay read path (ReadView.Get, overlayRow, the overlay scanner) copies
+// the visible pairs out of the pending cells before returning, so the only
+// state a caller can still hold is the Value byte slices, which are shared,
+// immutable, and never cleared here. Safe only once nothing reads through
+// the overlay anymore, which the BufferedMutator contract already
+// guarantees (one request, scans drained before a flush boundary).
 func (c *Client) putOverlay(ov map[string]*overlayTable) {
 	for tbl, ot := range ov {
+		for _, rd := range ot.rows {
+			clear(rd.cells[:cap(rd.cells)]) // drop value refs; keep capacity
+			rd.cells = rd.cells[:0]
+			ot.free = append(ot.free, rd)
+		}
 		clear(ot.rows)
 		ot.keys = ot.keys[:0]
 		ot.sorted = false
@@ -105,6 +119,27 @@ func (c *Client) putOverlay(ov map[string]*overlayTable) {
 		delete(ov, tbl)
 	}
 	c.overlayPool.Put(ov)
+}
+
+// getChunkBuf returns an empty chunk buffer, reusing a released one when
+// available.
+func (c *Client) getChunkBuf() *chunkBuf {
+	if v := c.chunkPool.Get(); v != nil {
+		return v.(*chunkBuf)
+	}
+	return &chunkBuf{}
+}
+
+// putChunkBuf releases a chunk buffer back to the pool. Callers must
+// guarantee that no row handed out from the buffer is still consumer-visible
+// under the Cells lifetime rule — the legal release points are enumerated on
+// chunkBuf.
+func (c *Client) putChunkBuf(b *chunkBuf) {
+	if b == nil {
+		return
+	}
+	b.reset()
+	c.chunkPool.Put(b)
 }
 
 // NewClient returns a cold client running on the workload driver node.
@@ -323,6 +358,7 @@ type Scanner struct {
 	ri      int         // current region index
 	resume  string      // next key within current region
 	opened  bool        // ScanOpen charged for current region
+	chunk   *chunkBuf   // sequential mode: the one buffer refilled in place
 	buf     []RowResult
 	bi      int
 	sent    int
@@ -407,46 +443,67 @@ func (s *Scanner) Next(ctx *sim.Ctx) (row RowResult, ok bool) {
 // Close releases an unfinished scan. A fully drained scanner needs no
 // Close; callers that abandon a scan early (dirty-read restarts) must call
 // it so scatter-gather workers stop and their already-performed work is
-// still charged to ctx.
+// still charged to ctx. Close invalidates previously returned rows (the
+// Cells lifetime rule), which is what lets it recycle the sequential chunk
+// buffer.
 func (s *Scanner) Close(ctx *sim.Ctx) {
 	if s.par != nil {
 		s.par.close(ctx)
 	}
+	s.releaseChunk()
 	s.done = true
 }
 
-// fetchChunk performs one scanner RPC against region r, charging ctx for
-// the server-side work and the response shipment. It is shared by the
-// sequential path and the scatter-gather workers so that both modes charge
-// identically. next is "" when the region is exhausted; truncated reports
-// that the stop key cut the chunk, meaning every remaining key in this and
-// any later region is out of range.
-func (s *Scanner) fetchChunk(ctx *sim.Ctx, r *Region, resume string, want int, stop string) (rows []RowResult, next string, truncated bool) {
+// releaseChunk returns the sequential scanner's chunk buffer to the client
+// pool. Called only at points that invalidate previously returned rows —
+// exhaustion of the last region, or Close.
+func (s *Scanner) releaseChunk() {
+	if s.chunk != nil {
+		s.client.putChunkBuf(s.chunk)
+		s.chunk, s.buf, s.bi = nil, nil, 0
+	}
+}
+
+// fetchChunk performs one scanner RPC against region r into buf, charging
+// ctx for the server-side work and the response shipment. It is shared by
+// the sequential path and the scatter-gather workers so that both modes
+// charge identically. The buffer is reset on entry — this is the refill
+// point that invalidates whatever rows it previously held. next is "" when
+// the region is exhausted; truncated reports that the stop key cut the
+// chunk, meaning every remaining key in this and any later region is out of
+// range.
+func (s *Scanner) fetchChunk(ctx *sim.Ctx, r *Region, buf *chunkBuf, resume string, want int, stop string) (next string, truncated bool) {
 	hc := s.client.hc
 	srv := r.Server()
-	rows, examined, next := r.scanChunk(resume, want, s.spec.Read, s.spec.Filter)
+	buf.reset()
+	examined, next := r.scanChunk(buf, resume, want, s.spec.Read, s.spec.Filter)
 	if stop != "" {
-		for len(rows) > 0 && rows[len(rows)-1].Key >= stop {
-			rows = rows[:len(rows)-1]
+		for len(buf.rows) > 0 && buf.rows[len(buf.rows)-1].Key >= stop {
+			buf.rows = buf.rows[:len(buf.rows)-1]
 			truncated = true
 		}
 	}
 	ctx.CountRowsScanned(examined)
 	hc.serverWork(ctx, srv, sim.Micros(int64(examined)*int64(hc.costs.ScanNextRow)))
 	bytes := 0
-	for _, row := range rows {
+	for _, row := range buf.rows {
 		bytes += row.Bytes()
 	}
-	ctx.CountRowsReturned(len(rows))
+	ctx.CountRowsReturned(len(buf.rows))
 	hc.cl.RPC(ctx, s.client.node, srv, bytes)
-	return rows, next, truncated
+	return next, truncated
 }
 
-// fetch pulls the next chunk from the current region, advancing to the next
-// region as needed. Reports false when all regions are exhausted.
+// fetch pulls the next chunk from the current region into the scanner's
+// owned chunk buffer, advancing to the next region as needed. Reports false
+// when all regions are exhausted, at which point the buffer returns to the
+// client pool (exhaustion invalidates previously returned rows).
 func (s *Scanner) fetch(ctx *sim.Ctx) bool {
 	hc := s.client.hc
 	_, stop := s.spec.bounds()
+	if s.chunk == nil {
+		s.chunk = s.client.getChunkBuf()
+	}
 	for s.ri < len(s.regions) {
 		r := s.regions[s.ri]
 		if !s.opened {
@@ -462,7 +519,7 @@ func (s *Scanner) fetch(ctx *sim.Ctx) bool {
 				want = remaining
 			}
 		}
-		rows, next, truncated := s.fetchChunk(ctx, r, s.resume, want, stop)
+		next, truncated := s.fetchChunk(ctx, r, s.chunk, s.resume, want, stop)
 		switch {
 		case truncated:
 			// Terminate so no further region is ever opened.
@@ -477,22 +534,32 @@ func (s *Scanner) fetch(ctx *sim.Ctx) bool {
 		default:
 			s.resume = next
 		}
-		if len(rows) > 0 {
-			s.buf, s.bi = rows, 0
+		if len(s.chunk.rows) > 0 {
+			s.buf, s.bi = s.chunk.rows, 0
 			return true
 		}
 	}
+	s.releaseChunk()
 	return false
 }
 
-// All drains the scanner into a slice.
+// All drains the scanner into a caller-owned slice. The rows are deep-copied
+// out of the stream's pooled chunk buffers into one arena owned by the
+// result, so All costs O(log rows) allocations rather than one Clone per
+// row, and the returned rows are caller-stable forever (point-read
+// semantics) rather than bound by the stream lifetime rule.
+//
+//cellsvet:owner
 func (s *Scanner) All(ctx *sim.Ctx) []RowResult {
 	var out []RowResult
+	var arena Cells
 	for {
 		row, ok := s.Next(ctx)
 		if !ok {
 			return out
 		}
-		out = append(out, row)
+		start := len(arena)
+		arena = append(arena, row.Cells...)
+		out = append(out, RowResult{Key: row.Key, Cells: arena[start:len(arena):len(arena)]})
 	}
 }

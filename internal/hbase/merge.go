@@ -1,6 +1,9 @@
 package hbase
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // mergeSource is one sorted (key, *rowData) stream feeding a rowMerger:
 // either a region's memstore or one immutable store file. rank orders
@@ -50,30 +53,76 @@ func (s *mergeSource) left() int {
 // number of sorted sources via a binary min-heap keyed on each source's
 // current row key. It replaces the O(sources) linear min-search per row the
 // scan and compaction paths used to do with O(log sources) sift operations.
+//
+// Mergers are pooled: every scan chunk and every compaction fold used to
+// allocate a fresh heap, source set and parts scratch, which made the merger
+// the read path's second allocation hot spot after row materialization.
+// newRowMerger draws from the package pool and release returns the merger;
+// the heap, the source backing array, the parts scratch and the multi-part
+// cell scratch all keep their capacity across folds.
 type rowMerger struct {
-	heap  []*mergeSource
-	parts []*rowData // scratch, reused across next calls
+	heap    []*mergeSource
+	parts   []*rowData    // scratch, reused across next calls
+	srcs    []mergeSource // backing storage for heap entries, reused across folds
+	scratch rowData       // reusable output row for multi-part cell merges
 }
 
+var mergerPool = sync.Pool{New: func() any { return new(rowMerger) }}
+
 // newRowMerger positions every non-empty source at the first key >= start.
-// mem may be nil (compaction merges store files only).
+// mem may be nil (compaction merges store files only). The merger comes from
+// the package pool; callers must release() it when the fold is done.
 func newRowMerger(mem *memStore, files []*hfile, start string) *rowMerger {
-	m := &rowMerger{heap: make([]*mergeSource, 0, len(files)+1)}
+	m := mergerPool.Get().(*rowMerger)
+	// Reserve the source backing array up front: the heap holds pointers
+	// into it, so it must never reallocate while sources are being added.
+	if need := len(files) + 1; cap(m.srcs) < need {
+		m.srcs = make([]mergeSource, 0, need)
+	}
+	if cap(m.heap) < len(files)+1 {
+		m.heap = make([]*mergeSource, 0, len(files)+1)
+	}
 	if mem != nil && mem.len() > 0 {
 		keys := mem.sortedKeys()
 		if i := sort.SearchStrings(keys, start); i < len(keys) {
-			m.heap = append(m.heap, &mergeSource{key: keys[i], pos: i, keys: keys, mem: mem.rows})
+			m.srcs = append(m.srcs, mergeSource{key: keys[i], pos: i, keys: keys, mem: mem.rows})
+			m.heap = append(m.heap, &m.srcs[len(m.srcs)-1])
 		}
 	}
 	for fi, f := range files {
 		if i := f.seek(start); i < len(f.rows) {
-			m.heap = append(m.heap, &mergeSource{rank: fi + 1, key: f.rows[i].key, pos: i, rows: f.rows})
+			m.srcs = append(m.srcs, mergeSource{rank: fi + 1, key: f.rows[i].key, pos: i, rows: f.rows})
+			m.heap = append(m.heap, &m.srcs[len(m.srcs)-1])
 		}
 	}
 	for i := len(m.heap)/2 - 1; i >= 0; i-- {
 		m.siftDown(i)
 	}
 	return m
+}
+
+// release returns the merger to the package pool for the next chunk or
+// compaction fold. Every reference into region data (memstore maps, store
+// file rows, part rowDatas) is dropped first so an idle pooled merger never
+// pins a store. The scratch row's cells are NOT cleared — rows handed out
+// via foldParts are dead by release time (scanChunk has copied the visible
+// pairs out; compaction clones multi-part rows), and keeping the capacity is
+// the point of pooling.
+func (m *rowMerger) release() {
+	clear(m.srcs[:cap(m.srcs)])
+	m.srcs = m.srcs[:0]
+	clear(m.heap[:cap(m.heap)])
+	m.heap = m.heap[:0]
+	clear(m.parts[:cap(m.parts)])
+	m.parts = m.parts[:0]
+	mergerPool.Put(m)
+}
+
+// foldParts merges a multi-part row into the merger's reusable scratch row.
+// The returned row is valid only until the next foldParts or release call.
+func (m *rowMerger) foldParts(parts []*rowData) *rowData {
+	m.scratch.cells = mergeCellsInto(m.scratch.cells, parts)
+	return &m.scratch
 }
 
 // remaining upper-bounds the number of distinct keys left (sources may share

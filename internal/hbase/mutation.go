@@ -24,6 +24,17 @@ type Mutation struct {
 	// Qualifiers restricts a delete to specific columns; empty deletes the
 	// whole row.
 	Qualifiers []string
+	// CheckAndPut marks the mutation conditional: at apply time the single
+	// cell in Cells lands via the region's atomic CheckAndPut iff the
+	// current visible value of (Key, CheckQualifier) equals CheckExpected
+	// (nil = must be absent). A failed check is not an error — the mutation
+	// is simply skipped, and only applied conditionals pay the put/WAL
+	// costs, exactly like the eager Client.CheckAndPut. The Synergy commit
+	// protocol uses this to fold lock-table maintenance into the commit
+	// flush instead of paying eager round trips.
+	CheckAndPut    bool
+	CheckQualifier string
+	CheckExpected  []byte
 }
 
 // PutMutation builds a put.
@@ -36,9 +47,17 @@ func DeleteMutation(tbl, key string, ts int64, qualifiers ...string) Mutation {
 	return Mutation{Table: tbl, Key: key, Delete: true, TS: ts, Qualifiers: qualifiers}
 }
 
+// CheckAndPutMutation builds a conditional single-cell put, resolved
+// atomically against the row's current state at apply time (expected nil =
+// the qualifier must be absent).
+func CheckAndPutMutation(tbl, key, qualifier string, expected []byte, cell Cell) Mutation {
+	return Mutation{Table: tbl, Key: key, Cells: []Cell{cell}, CheckAndPut: true, CheckQualifier: qualifier, CheckExpected: expected}
+}
+
 // bytes approximates the wire size of the mutation inside a batch RPC,
-// matching what the eager Put/DeleteAt paths charge for the same mutation
-// so batched and sequential runs stay byte-for-byte comparable.
+// matching what the eager Put/DeleteAt/CheckAndPut paths charge for the
+// same mutation so batched and sequential runs stay byte-for-byte
+// comparable.
 func (m *Mutation) bytes() int {
 	if m.Delete {
 		return len(m.Key) + 32
@@ -46,6 +65,9 @@ func (m *Mutation) bytes() int {
 	n := 0
 	for _, c := range m.Cells {
 		n += len(m.Key) + len(c.Qualifier) + len(c.Value) + kvOverhead
+	}
+	if m.CheckAndPut {
+		n += len(m.CheckExpected)
 	}
 	return n
 }
@@ -219,24 +241,61 @@ func (c *Client) applyGroup(ctx *sim.Ctx, g *regionGroup) {
 		// edits) to the region's new owner.
 		srv := g.region.Server()
 		bytes := 0
+		cas := 0
 		for i := range chunk {
 			bytes += chunk[i].bytes()
+			if chunk[i].CheckAndPut {
+				cas++
+			}
 		}
 		hc.cl.RPC(ctx, c.node, srv, bytes)
-		serverCost := sim.Micros(int64(len(chunk)) * int64(hc.costs.PutApply))
+		// Unconditional mutations pay PutApply up front; conditionals pay
+		// the CheckAndPut compare, and the apply cost only if the check
+		// passes — mirroring the eager paths mutation by mutation.
+		serverCost := sim.Micros(int64(len(chunk)-cas) * int64(hc.costs.PutApply))
+		serverCost += sim.Micros(int64(cas) * int64(hc.costs.CheckAndPut))
 		if len(chunk) > 1 {
 			serverCost += hc.costs.MutateBatchOverhead
 			serverCost += sim.Micros(int64(len(chunk)) * int64(hc.costs.MutatePerMutation))
 		}
 		hc.serverWork(ctx, srv, serverCost)
-		hc.walAppendBatch(ctx, srv, bytes, len(chunk))
+		if cas == 0 {
+			hc.walAppendBatch(ctx, srv, bytes, len(chunk))
+			for i := range chunk {
+				m := &chunk[i]
+				if m.Delete {
+					g.region.deleteRow(m.Key, m.TS, m.Qualifiers)
+				} else {
+					g.region.put(m.Key, m.Cells)
+				}
+			}
+			continue
+		}
+		// Conditional mutations reach the WAL only when applied, so the
+		// sub-batch applies first and syncs the surviving edits after — the
+		// same total the eager path charges, one sync instead of many.
+		walBytes, walMuts := 0, 0
 		for i := range chunk {
 			m := &chunk[i]
-			if m.Delete {
+			switch {
+			case m.CheckAndPut:
+				if g.region.checkAndPut(m.Key, m.CheckQualifier, m.CheckExpected, m.Cells[0]) {
+					hc.serverWork(ctx, srv, hc.costs.PutApply)
+					walBytes += m.bytes()
+					walMuts++
+				}
+			case m.Delete:
 				g.region.deleteRow(m.Key, m.TS, m.Qualifiers)
-			} else {
+				walBytes += m.bytes()
+				walMuts++
+			default:
 				g.region.put(m.Key, m.Cells)
+				walBytes += m.bytes()
+				walMuts++
 			}
+		}
+		if walMuts > 0 {
+			hc.walAppendBatch(ctx, srv, walBytes, walMuts)
 		}
 	}
 }
@@ -318,6 +377,18 @@ func (m *BufferedMutator) Delete(ctx *sim.Ctx, tbl, key string, ts int64, qualif
 	return m.add(ctx, DeleteMutation(tbl, key, ts, qualifiers...))
 }
 
+// CheckAndPut buffers a conditional single-cell put resolved atomically at
+// flush time (or, sequentially, issues it eagerly, discarding the outcome).
+// Deferred conditionals suit writes that are idempotent housekeeping — lock
+// table maintenance — where the caller does not branch on the result.
+func (m *BufferedMutator) CheckAndPut(ctx *sim.Ctx, tbl, key, qualifier string, expected []byte, cell Cell) error {
+	if m.sequential {
+		_, err := m.c.CheckAndPut(ctx, tbl, key, qualifier, expected, cell)
+		return err
+	}
+	return m.add(ctx, CheckAndPutMutation(tbl, key, qualifier, expected, cell))
+}
+
 func (m *BufferedMutator) add(ctx *sim.Ctx, mut Mutation) error {
 	if m.muts == nil {
 		m.muts = m.c.getMutBuf()
@@ -339,6 +410,11 @@ func (m *BufferedMutator) add(ctx *sim.Ctx, mut Mutation) error {
 func (m *BufferedMutator) overlayApply(mut Mutation) {
 	if !m.ryw || m.sequential {
 		return // nobody reads through this buffer before it flushes
+	}
+	if mut.CheckAndPut {
+		// Conditional outcomes are unknowable client-side, and the lock
+		// housekeeping that uses them is never read through the overlay.
+		return
 	}
 	if m.overlay == nil {
 		m.overlay = m.c.getOverlay()

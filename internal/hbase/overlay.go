@@ -58,6 +58,16 @@ type overlayTable struct {
 	rows   map[string]*rowData
 	keys   []string
 	sorted bool
+	// free recycles pending rowData structs (and their cell-slice capacity)
+	// across the transactions that reuse this overlayTable through the
+	// client's otPool. Recycling is safe by the overlay lifetime analysis:
+	// no RowResult ever aliases a pending cell slice — ReadView.Get and the
+	// overlay scanner materialize through rowData.read (which copies the
+	// visible pairs out) and overlayRow's merged() path copies the Cell
+	// structs themselves — so once a flush or discard retires the overlay,
+	// the only shared state left is the Value byte slices, which recycling
+	// never touches.
+	free []*rowData
 }
 
 func newOverlayTable() *overlayTable {
@@ -67,7 +77,13 @@ func newOverlayTable() *overlayTable {
 func (o *overlayTable) upsert(key string) *rowData {
 	rd := o.rows[key]
 	if rd == nil {
-		rd = &rowData{}
+		if n := len(o.free); n > 0 {
+			rd = o.free[n-1]
+			o.free[n-1] = nil
+			o.free = o.free[:n-1]
+		} else {
+			rd = &rowData{}
+		}
 		o.rows[key] = rd
 		o.keys = append(o.keys, key)
 		o.sorted = false

@@ -29,7 +29,10 @@ func drainStream(ctx *sim.Ctx, s RowStream) []RowResult {
 		if !ok {
 			return out
 		}
-		out = append(out, r)
+		// Streamed rows are valid only until the next Next call; retaining
+		// them across the drain requires a deep copy (the Cells lifetime
+		// rule).
+		out = append(out, r.Clone())
 	}
 }
 

@@ -272,47 +272,55 @@ func (r *Region) increment(key, qualifier string, delta int64, ts int64) int64 {
 	return cur
 }
 
-// scanChunk returns up to limit visible rows with key >= start (and < r.end),
-// the number of rows examined server-side, and the key to resume from ("" if
-// the region is exhausted). filter, when non-nil, drops rows server-side
-// (they still count as examined).
-func (r *Region) scanChunk(start string, limit int, opts ReadOpts, filter func(RowResult) bool) (rows []RowResult, examined int, next string) {
+// scanChunk fills buf with up to limit visible rows with key >= start (and
+// < r.end), returning the number of rows examined server-side and the key to
+// resume from ("" if the region is exhausted). filter, when non-nil, drops
+// rows server-side (they still count as examined). buf must arrive empty
+// (reset); the produced rows live in buf.rows and their Cells are windows
+// into buf.arena, so they are valid only until the buffer's next reset —
+// the chunkBuf ownership protocol governs when that may happen.
+func (r *Region) scanChunk(buf *chunkBuf, start string, limit int, opts ReadOpts, filter func(RowResult) bool) (examined int, next string) {
 	defer func() { r.recordRead(examined) }()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 
 	m := newRowMerger(r.mem, r.files, start)
-	if limit > 0 {
-		rows = make([]RowResult, 0, min(limit, m.remaining()))
-	} else {
-		rows = make([]RowResult, 0, m.remaining())
+	defer m.release()
+	need := m.remaining()
+	if limit > 0 && limit < need {
+		need = limit
 	}
-	var scratch rowData // reused for transient multi-part merges
-	for limit <= 0 || len(rows) < limit {
+	if cap(buf.rows) < need {
+		buf.rows = make([]RowResult, 0, need)
+	}
+	for limit <= 0 || len(buf.rows) < limit {
 		key, parts, ok := m.next()
 		if !ok || (r.end != "" && key >= r.end) {
-			return rows, examined, ""
+			return examined, ""
 		}
 		var rd *rowData
 		if len(parts) == 1 {
 			rd = parts[0]
 		} else {
-			scratch.cells = mergeCellsInto(scratch.cells, parts)
-			rd = &scratch
+			rd = m.foldParts(parts)
 		}
 		examined++
-		cells := rd.read(opts)
+		var cells Cells
+		buf.arena, cells = rd.readInto(buf.arena, opts)
 		if len(cells) == 0 {
 			continue // deleted or invisible row
 		}
 		res := RowResult{Key: key, Cells: cells}
 		if filter != nil && !filter(res) {
+			// Give the dropped row's pairs back to the arena; nothing
+			// references them.
+			buf.arena = buf.arena[:len(buf.arena)-len(cells)]
 			continue
 		}
-		rows = append(rows, res)
+		buf.rows = append(buf.rows, res)
 	}
 	// Limit reached: resume just after the last returned key.
-	return rows, examined, rows[len(rows)-1].Key + "\x00"
+	return examined, buf.rows[len(buf.rows)-1].Key + "\x00"
 }
 
 // flush moves the memstore into a new immutable store file.
@@ -349,6 +357,7 @@ func (r *Region) majorCompact() {
 	}
 	// Heap-based k-way merge of the sorted store files.
 	m := newRowMerger(nil, r.files, "")
+	defer m.release()
 	out := make([]hrow, 0, m.remaining())
 	for {
 		key, parts, ok := m.next()

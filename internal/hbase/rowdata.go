@@ -54,9 +54,31 @@ func (r *rowData) apply(c Cell, maxVersions int) {
 // tombstones and the read options' version filters. Returns nil when no cell
 // is visible (row absent). The cell index is sorted ascending by qualifier,
 // so the produced pair slice is born sorted — no consumer ever re-sorts.
+// The result is a fresh, caller-stable allocation (point reads hand it out
+// forever); the scan path uses readInto to amortize the allocation into a
+// per-chunk arena instead.
 func (r *rowData) read(opts ReadOpts) Cells {
+	pairs, _ := r.readInto(nil, opts)
+	return pairs
+}
+
+// readInto is read appending into a caller-owned arena: the visible pairs
+// of the row are appended to dst and returned both as the extended arena
+// and as the row's own full-capacity-clipped window into it (nil when no
+// cell is visible — such rows cost no arena space). The scan chunk path
+// calls it once per row over one pooled arena, which is what turns the
+// read path's dominant per-row allocation into a per-chunk one. Growth is
+// safe mid-chunk: append relocations copy the arena, and earlier rows keep
+// aliasing the abandoned block, which lives until the chunk is released.
+//
+// With a nil dst the first visible cell allocates a fresh slice presized
+// to the remaining qualifier-group count (the point-read behavior: one
+// exact allocation per visible row, none for invisible rows).
+//
+//cellsvet:owner
+func (r *rowData) readInto(dst Cells, opts ReadOpts) (arena, row Cells) {
 	if len(r.cells) == 0 {
-		return nil
+		return dst, nil
 	}
 	// Newest visible row-wide tombstone.
 	var rowDelTS int64 = -1
@@ -70,12 +92,7 @@ func (r *rowData) read(opts ReadOpts) Cells {
 		}
 	}
 
-	// The slice is allocated only once a visible cell is found, so fully
-	// tombstoned or invisible rows cost no allocation; it is presized to
-	// the remaining qualifier-group count so wide rows never regrow. One
-	// allocation per visible row — the map representation paid two (header
-	// + buckets) and lost the qualifier order.
-	var out Cells
+	start := len(dst)
 	i := 0
 	for i < len(r.cells) {
 		q := r.cells[i].Qualifier
@@ -95,16 +112,21 @@ func (r *rowData) read(opts ReadOpts) Cells {
 				if c.TS <= rowDelTS {
 					break // hidden by row tombstone
 				}
-				if out == nil {
-					out = make(Cells, 0, r.qualifiersFrom(i))
+				if dst == nil {
+					dst = make(Cells, 0, r.qualifiersFrom(i))
 				}
-				out = append(out, Pair{Qualifier: q, Value: c.Value})
+				dst = append(dst, Pair{Qualifier: q, Value: c.Value})
 				break
 			}
 		}
 		i = j
 	}
-	return out
+	if len(dst) == start {
+		return dst, nil
+	}
+	// Clip the row's capacity to its length: even an owner slipping an
+	// append past the vet rule could then never clobber the next row.
+	return dst, dst[start:len(dst):len(dst)]
 }
 
 // qualifiersFrom counts distinct qualifiers from cell index i on.

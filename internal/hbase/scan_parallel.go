@@ -35,7 +35,8 @@ type parScanner struct {
 	cancel  chan struct{}
 	wg      sync.WaitGroup
 
-	ci     int // region currently being consumed
+	ci     int       // region currently being consumed
+	cur    *chunkBuf // pooled buffer backing buf; released at the next install
 	buf    []RowResult
 	bi     int
 	chunks int64 // chunks folded into the ordered stream
@@ -51,7 +52,7 @@ type parScanner struct {
 }
 
 type regionStream struct {
-	ch  chan []RowResult
+	ch  chan *chunkBuf
 	ctx *sim.Ctx
 }
 
@@ -86,7 +87,7 @@ func startParScan(ctx *sim.Ctx, s *Scanner, pool *scanPool) *parScanner {
 	}
 	p.wg.Add(len(s.regions))
 	for i := range s.regions {
-		p.streams[i] = regionStream{ch: make(chan []RowResult, chunkPrefetch), ctx: ctx.Fork()}
+		p.streams[i] = regionStream{ch: make(chan *chunkBuf, chunkPrefetch), ctx: ctx.Fork()}
 		p.jobs[i] = scanJob{p: p, idx: i}
 	}
 	for i := range p.jobs {
@@ -110,10 +111,10 @@ func (p *parScanner) openRegion(i int) (resume string) {
 	return resume
 }
 
-// nextChunk performs one scanner RPC of region i from resume, charging the
-// region's child ctx exactly as the sequential path charges its parent.
-// done reports the region exhausted — by its end, the stop key, or the
-// per-region limit cap. Both the worker path (drainRegion) and the
+// nextChunk performs one scanner RPC of region i from resume into buf,
+// charging the region's child ctx exactly as the sequential path charges
+// its parent. done reports the region exhausted — by its end, the stop key,
+// or the per-region limit cap. Both the worker path (drainRegion) and the
 // caller-runs path (fetchInline) fetch exclusively through here, so the
 // two can never diverge on limit or resume semantics.
 //
@@ -121,20 +122,22 @@ func (p *parScanner) openRegion(i int) (resume string) {
 // merged result takes the first Limit rows in key order, so no single region
 // can contribute more. Rows past the limit in early regions are speculative
 // overfetch — the client trims them and cancels the workers.
-func (p *parScanner) nextChunk(i int, resume string, sent int) (rows []RowResult, next string, done bool) {
+func (p *parScanner) nextChunk(i int, buf *chunkBuf, resume string, sent int) (next string, done bool) {
 	_, stop := p.s.spec.bounds()
 	limit := p.s.spec.Limit
 	want := p.s.batch
 	if limit > 0 && limit-sent < want {
 		want = limit - sent
 	}
-	rows, next, truncated := p.s.fetchChunk(p.streams[i].ctx, p.s.regions[i], resume, want, stop)
-	done = truncated || next == "" || (limit > 0 && sent+len(rows) >= limit)
-	return rows, next, done
+	next, truncated := p.s.fetchChunk(p.streams[i].ctx, p.s.regions[i], buf, resume, want, stop)
+	done = truncated || next == "" || (limit > 0 && sent+len(buf.rows) >= limit)
+	return next, done
 }
 
 // drainRegion fetches region i chunk by chunk on a pool worker, streaming
-// the chunks to the consumer.
+// the chunks to the consumer. Each chunk rides its own pooled buffer;
+// ownership passes to the consumer on send, and buffers that never make it
+// out (empty chunks, cancelled sends) go straight back to the pool.
 func (p *parScanner) drainRegion(i int) {
 	st := p.streams[i]
 	defer close(st.ch)
@@ -144,14 +147,18 @@ func (p *parScanner) drainRegion(i int) {
 	resume := p.openRegion(i)
 	sent := 0
 	for {
-		rows, next, done := p.nextChunk(i, resume, sent)
-		sent += len(rows)
-		if len(rows) > 0 {
+		buf := p.s.client.getChunkBuf()
+		next, done := p.nextChunk(i, buf, resume, sent)
+		sent += len(buf.rows)
+		if len(buf.rows) > 0 {
 			select {
-			case st.ch <- rows:
+			case st.ch <- buf:
 			case <-p.cancel:
+				p.s.client.putChunkBuf(buf) // no consumer ever saw it
 				return
 			}
+		} else {
+			p.s.client.putChunkBuf(buf) // empty chunk: nothing escaped
 		}
 		if done {
 			return
@@ -202,12 +209,23 @@ func (p *parScanner) next(ctx *sim.Ctx) (RowResult, bool) {
 			p.ci++
 			continue
 		}
-		p.buf, p.bi = chunk, 0
-		p.chunks++
+		p.installChunk(chunk)
 	}
 	row := p.buf[p.bi]
 	p.bi++
 	return row, true
+}
+
+// installChunk makes b the consumer-visible chunk and recycles the previous
+// one — the refill point at which rows handed out from the old chunk become
+// invalid under the Cells lifetime rule.
+func (p *parScanner) installChunk(b *chunkBuf) {
+	if p.cur != nil {
+		p.s.client.putChunkBuf(p.cur)
+	}
+	p.cur = b
+	p.buf, p.bi = b.rows, 0
+	p.chunks++
 }
 
 // startInline begins a consumer-driven drain of region i.
@@ -216,22 +234,24 @@ func (p *parScanner) startInline(i int) {
 	p.inlineResume, p.inlineSent = p.openRegion(i), 0
 }
 
-// fetchInline pulls the next chunk of the consumer-claimed region into buf.
-// Reports false once the region is exhausted.
+// fetchInline pulls the next chunk of the consumer-claimed region into a
+// fresh pooled buffer and installs it. Reports false once the region is
+// exhausted.
 func (p *parScanner) fetchInline() bool {
 	if p.inlineEOF {
 		return false
 	}
 	for {
-		rows, next, done := p.nextChunk(p.ci, p.inlineResume, p.inlineSent)
-		p.inlineSent += len(rows)
+		buf := p.s.client.getChunkBuf()
+		next, done := p.nextChunk(p.ci, buf, p.inlineResume, p.inlineSent)
+		p.inlineSent += len(buf.rows)
 		p.inlineEOF = done
 		p.inlineResume = next
-		if len(rows) > 0 {
-			p.buf, p.bi = rows, 0
-			p.chunks++
+		if len(buf.rows) > 0 {
+			p.installChunk(buf)
 			return true
 		}
+		p.s.client.putChunkBuf(buf)
 		if done {
 			return false
 		}
@@ -241,6 +261,13 @@ func (p *parScanner) fetchInline() bool {
 // close cancels outstanding region fetches and joins whatever work they
 // already performed into ctx. Jobs still queued on the pool are claimed
 // away so no worker ever starts them.
+//
+// Chunk recycling on close is deliberately partial: only buffers no
+// consumer ever saw — those still sitting in the prefetch channels once the
+// workers have stopped — return to the pool. The consumer-visible current
+// chunk is left to the GC, because Scanner.Next trims a limit-bounded scan
+// in the same call that returns the limit-th row: that row still aliases
+// p.cur when close runs.
 func (p *parScanner) close(ctx *sim.Ctx) {
 	if p.joined {
 		return
@@ -257,12 +284,36 @@ func (p *parScanner) close(ctx *sim.Ctx) {
 	}
 	// Unblock producers stuck on full streams, then wait them out.
 	p.wg.Wait()
+	// Producers are done, so a non-blocking sweep sees every buffered
+	// chunk. Channels of claimed-away jobs were never closed — range would
+	// block on them, hence the select.
+	for i := range p.streams {
+	drain:
+		for {
+			select {
+			case buf, ok := <-p.streams[i].ch:
+				if !ok {
+					break drain
+				}
+				p.s.client.putChunkBuf(buf)
+			default:
+				break drain
+			}
+		}
+	}
+	p.cur = nil // stays with the consumer's last rows; GC reclaims it
 	p.join(ctx)
 }
 
 func (p *parScanner) finish(ctx *sim.Ctx) {
 	if p.joined {
 		return
+	}
+	// Natural exhaustion: this Next call returns no row, so rows handed out
+	// from the current chunk are no longer valid and it can be recycled.
+	if p.cur != nil {
+		p.s.client.putChunkBuf(p.cur)
+		p.cur, p.buf, p.bi = nil, nil, 0
 	}
 	p.wg.Wait() // all streams closed, workers are done or exiting
 	p.join(ctx)

@@ -146,3 +146,99 @@ func TestScanParallelismOverrideUsesPrivatePool(t *testing.T) {
 		t.Fatalf("override scan rows = %d, want %d", len(rows), len(seq))
 	}
 }
+
+// TestPooledChunkReuseInterleavedScans hammers the pooled chunk buffers:
+// many goroutines on one shared client, each interleaving a partially
+// drained parallel scan with limited scans and early Closes, so released
+// chunks recycle through the client pool while sibling scans are mid
+// flight. Every retained row is a Clone taken at Next time and checked
+// after the churn — a chunk recycled while still referenced, or an arena
+// window crossing into a neighbor row, shows up as a corrupted clone (and
+// under -race as a data race on the recycled buffers).
+func TestPooledChunkReuseInterleavedScans(t *testing.T) {
+	_, c := buildScanFixture(t, 3000, 6)
+	want, _ := drainSpec(t, c, ScanSpec{Sequential: true})
+	wantByKey := make(map[string]RowResult, len(want))
+	for _, r := range want {
+		wantByKey[r.Key] = r
+	}
+
+	const goroutines = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			check := func(rows []RowResult) error {
+				for _, r := range rows {
+					ref, ok := wantByKey[r.Key]
+					if !ok {
+						return fmt.Errorf("unknown key %q surfaced", r.Key)
+					}
+					if len(r.Cells) != len(ref.Cells) {
+						return fmt.Errorf("row %q has %d pairs, want %d", r.Key, len(r.Cells), len(ref.Cells))
+					}
+					for i := range r.Cells {
+						if r.Cells[i].Qualifier != ref.Cells[i].Qualifier ||
+							string(r.Cells[i].Value) != string(ref.Cells[i].Value) {
+							return fmt.Errorf("row %q pair %d corrupted: %+v", r.Key, i, r.Cells[i])
+						}
+					}
+				}
+				return nil
+			}
+			for round := 0; round < rounds; round++ {
+				// Scan A: parallel, partially drained with retained clones.
+				ctxA := sim.NewCtx()
+				scA, err := c.Scan(ctxA, "t", ScanSpec{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				var kept []RowResult
+				for i := 0; i < 40+17*g; i++ {
+					row, ok := scA.Next(ctxA)
+					if !ok {
+						break
+					}
+					if i%3 == 0 {
+						kept = append(kept, row.Clone())
+					}
+				}
+				// Scan B: limited, fully drained while A is parked.
+				ctxB := sim.NewCtx()
+				scB, err := c.Scan(ctxB, "t", ScanSpec{Limit: 50 + round})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := check(scB.All(ctxB)); err != nil {
+					errs <- err
+					return
+				}
+				// Abandon A mid-flight on odd rounds (close-path recycling),
+				// drain it on even rounds (exhaust-path recycling).
+				if round%2 == 1 {
+					scA.Close(ctxA)
+				} else {
+					for {
+						if _, ok := scA.Next(ctxA); !ok {
+							break
+						}
+					}
+				}
+				if err := check(kept); err != nil {
+					errs <- fmt.Errorf("retained clones after churn: %w", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

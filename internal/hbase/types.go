@@ -72,9 +72,39 @@ type Pair struct {
 // print site then re-derives), Get is a binary search, and the merge sites
 // (region k-way merge, read-your-writes overlay) consume the sortedness
 // directly instead of rebuilding maps. Ranging over Cells IS the sorted
-// qualifier iteration; no site may re-sort or mutate a Cells it did not
-// allocate.
+// qualifier iteration.
+//
+// Immutability is a hard rule, not a convention: a Cells produced by the
+// read path may be a window into a per-chunk arena shared with every other
+// row of its scan chunk, so appending to it, writing an element (or an
+// element's field) through it, or re-slicing it beyond its length corrupts
+// neighboring rows. cmd/cellsvet enforces the rule repo-wide in CI; the few
+// legitimate producers (rowData.readInto, the overlay merge, Clone) are
+// annotated `//cellsvet:owner` at their declaration.
+//
+// Lifetime: rows returned by a RowStream (Scanner.Next and the overlay
+// scanner) are valid only until the stream's next Next or Close call —
+// their Cells may alias a pooled chunk arena that is recycled when the
+// scanner advances to the next chunk. Consumers that retain a scanned row
+// must Clone it. Point reads (Client.Get, ReadView.Get) and rows already
+// deep-copied by Clone are caller-stable forever. The Pair.Value byte
+// slices are shared with the store and never recycled or overwritten, so
+// values decoded or retained from a row stay valid regardless.
 type Cells []Pair
+
+// Clone returns a caller-stable deep copy of the pair slice (the values
+// stay shared with the store; they are immutable and never recycled). Use
+// it when retaining a scanned row beyond the stream's next Next/Close.
+//
+//cellsvet:owner
+func (c Cells) Clone() Cells {
+	if len(c) == 0 {
+		return nil
+	}
+	out := make(Cells, len(c))
+	copy(out, c)
+	return out
+}
 
 // Get returns the value stored under a qualifier, or nil. Binary search
 // over the sorted pairs — the slice analogue of the old map index.
@@ -106,9 +136,16 @@ func (c Cells) sortedOK() bool {
 }
 
 // RowResult is the materialized latest-visible-version view of one row.
+// Rows handed out by a RowStream follow the Cells lifetime rule: valid
+// until the stream's next Next/Close, Clone to retain.
 type RowResult struct {
 	Key   string
 	Cells Cells // sorted ascending by qualifier
+}
+
+// Clone returns a caller-stable deep copy of the row.
+func (r RowResult) Clone() RowResult {
+	return RowResult{Key: r.Key, Cells: r.Cells.Clone()}
 }
 
 // Empty reports whether the row has no visible cells.

@@ -64,10 +64,60 @@ func (lm *LockManager) BulkCreateEntries(root string, rows []hbase.BulkRow) erro
 	return lm.store.BulkLoad(LockTableName(root), entries)
 }
 
-// EnsureEntry creates the lock entry for a newly inserted root row.
+// EnsureEntry creates the lock entry for a newly inserted root row with an
+// eager put — the path for transactions that own no write buffer (sequential
+// and per-statement-flush modes, where every write is already eager).
 func (lm *LockManager) EnsureEntry(ctx *sim.Ctx, root, key string) error {
 	return lm.client.Put(ctx, LockTableName(root), key,
 		[]hbase.Cell{{Qualifier: lockQualifier, Value: lockFree}})
+}
+
+// EnsureEntryDeferred folds the lock-table entry for a freshly inserted
+// root row into the transaction's buffered mutator: the entry rides the
+// commit flush as a create-if-absent CheckAndPut batch entry, replacing
+// the three standalone lock RPCs the eager protocol pays per root insert
+// (Acquire's guaranteed-miss checkAndPut plus its create-if-absent
+// follow-up at statement time, and the Release checkAndPut at commit).
+//
+// The deferral is sound because a buffered transaction's new root row is
+// unpublished until the mutator flushes: no concurrent transaction can
+// resolve the group's key from the store, so there is nothing for the
+// self-held lock to serialize during the transaction. Two guards keep the
+// protocol airtight around that argument. First, a marked multi-row
+// update's phase barrier publishes everything buffered mid-transaction —
+// the transaction promotes every deferred entry to a held lock (AcquireNew)
+// before its first barrier, restoring "row published ⟹ lock held until
+// commit". Second, the deferred write is conditional where the eager entry
+// put was not: if a concurrent Acquire created the entry meanwhile (it
+// falls back to create-if-absent, so acquirability never depended on the
+// entry existing), the commit-time CheckAndPut(absent → free) no-ops
+// instead of clobbering a held lock with a free one.
+//
+// Like the paper's insert applicability rule, this assumes inserts carry
+// fresh keys: an insert that silently upserts a live, contended root key
+// serializes against the group's writers only in the eager modes.
+func (lm *LockManager) EnsureEntryDeferred(ctx *sim.Ctx, m *hbase.BufferedMutator, root, key string) error {
+	return m.CheckAndPut(ctx, LockTableName(root), key, lockQualifier, nil,
+		hbase.Cell{Qualifier: lockQualifier, Value: lockFree})
+}
+
+// AcquireNew takes the lock on a root key whose entry is expected to be
+// absent — the promotion path for a deferred fresh-root-insert entry (see
+// EnsureEntryDeferred). It tries create-if-absent first, so the expected
+// case is one checkAndPut instead of a guaranteed-miss attempt against a
+// missing entry followed by the creating one; if the entry does exist
+// after all, it falls back to the contended acquire loop.
+func (lm *LockManager) AcquireNew(ctx *sim.Ctx, root, key string) error {
+	ok, err := lm.client.CheckAndPut(ctx, LockTableName(root), key, lockQualifier, nil,
+		hbase.Cell{Qualifier: lockQualifier, Value: lockHeld})
+	if err != nil {
+		return err
+	}
+	if ok {
+		ctx.CountLock()
+		return nil
+	}
+	return lm.acquire(ctx, lm.client, root, key)
 }
 
 // Acquire takes the lock on a root row key, spinning with capped exponential

@@ -154,6 +154,12 @@ type Tx struct {
 
 	locks   []lockRef
 	lockSet map[lockRef]struct{}
+	// deferred are fresh-root-insert lock entries riding the commit flush
+	// as conditional batch entries instead of being self-acquired (see
+	// LockManager.EnsureEntryDeferred). While a ref is deferred the root
+	// row is still unpublished; any phase barrier promotes all deferred
+	// refs to held locks before it flushes.
+	deferred []lockRef
 	// marks are dirty marks a phase barrier has flushed but the protocol
 	// has not yet un-marked; Abort un-marks them eagerly so an aborted
 	// transaction never leaves rows permanently dirty (readers would
@@ -268,6 +274,15 @@ func (tx *Tx) Commit(ctx *sim.Ctx) error {
 		return nil
 	}
 	if tx.mutator != nil {
+		// Lock entries for fresh root inserts that stayed deferred to the
+		// end (no barrier or same-group statement promoted them) join the
+		// commit flush as conditional create-free batch entries.
+		for _, ref := range tx.deferred {
+			if err := tx.sys.Locks.EnsureEntryDeferred(ctx, tx.mutator, ref.root, ref.key); err != nil {
+				tx.releaseLocks(ctx)
+				return err
+			}
+		}
 		if err := tx.mutator.Flush(ctx); err != nil {
 			if tx.mvccTx != nil {
 				tx.sys.MVCCServer.Abort(ctx, tx.mvccTx)
@@ -393,7 +408,17 @@ func (tx *Tx) acquireLock(ctx *sim.Ctx, root, key string) error {
 	if _, held := tx.lockSet[ref]; held {
 		return nil
 	}
-	if err := tx.sys.Locks.Acquire(ctx, root, key); err != nil {
+	// A ref this transaction deferred has a known-absent entry (the
+	// conditional create is still buffered): take the create-first path.
+	acquire := tx.sys.Locks.Acquire
+	for i, d := range tx.deferred {
+		if d == ref {
+			acquire = tx.sys.Locks.AcquireNew
+			tx.deferred = append(tx.deferred[:i], tx.deferred[i+1:]...)
+			break
+		}
+	}
+	if err := acquire(ctx, root, key); err != nil {
 		return err
 	}
 	if tx.lockSet == nil {
@@ -404,6 +429,30 @@ func (tx *Tx) acquireLock(ctx *sim.Ctx, root, key string) error {
 	return nil
 }
 
+// promoteDeferred converts every deferred lock entry into a held lock —
+// called before the first phase barrier of a marked update, which would
+// otherwise publish the still-unlocked fresh root rows mid-transaction.
+// The buffered conditional entry writes then no-op at the commit flush
+// (the entries exist, held or freed by then) and Release frees the locks.
+func (tx *Tx) promoteDeferred(ctx *sim.Ctx) error {
+	for len(tx.deferred) > 0 {
+		ref := tx.deferred[0]
+		if err := tx.acquireLock(ctx, ref.root, ref.key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tx *Tx) isDeferred(ref lockRef) bool {
+	for _, d := range tx.deferred {
+		if d == ref {
+			return true
+		}
+	}
+	return false
+}
+
 func (tx *Tx) releaseLocks(ctx *sim.Ctx) error {
 	var first error
 	for i := len(tx.locks) - 1; i >= 0; i-- {
@@ -411,7 +460,9 @@ func (tx *Tx) releaseLocks(ctx *sim.Ctx) error {
 			first = err
 		}
 	}
-	tx.locks, tx.lockSet = nil, nil
+	// Deferred entries were never held: on commit the flush just created
+	// them free; on abort the discarded buffer never created them.
+	tx.locks, tx.lockSet, tx.deferred = nil, nil, nil
 	return first
 }
 
@@ -579,12 +630,18 @@ func (sys *System) executeWriteBody(ctx *sim.Ctx, tx *Tx, stmt sqlparser.Stateme
 	}
 
 	// Step 1: acquire the single lock, held until the transaction commits.
+	// A fresh root insert on a buffered transaction skips self-acquisition:
+	// the new row is unpublished until a barrier or the commit flush, so no
+	// concurrent transaction can resolve its group yet — its lock entry is
+	// deferred into the commit flush below, and any phase barrier promotes
+	// it to a held lock before publishing (see EnsureEntryDeferred).
 	if tx.lock {
 		rootKey, err := sys.resolveRootKey(ctx, rd, plan, baseRow)
 		if err != nil {
 			return err
 		}
-		if plan.Root != "" && rootKey != "" {
+		deferEntry := tx.mutator != nil && parts.kind == core.WriteInsert && plan.Root == parts.table
+		if plan.Root != "" && rootKey != "" && !deferEntry {
 			if err := tx.acquireLock(ctx, plan.Root, rootKey); err != nil {
 				return err
 			}
@@ -596,15 +653,24 @@ func (sys *System) executeWriteBody(ctx *sim.Ctx, tx *Tx, stmt sqlparser.Stateme
 	if err := sys.Engine.Exec(ctx, stmt, params, opts); err != nil {
 		return err
 	}
-	// New root rows get a lock-table entry (§VIII-A); lock entries are
-	// eager — they must be acquirable by concurrent transactions at once.
-	// When the transaction already holds the new row's lock, Acquire's
-	// create-if-absent made the entry and Release frees it at commit;
-	// re-creating it here would overwrite the held lock with a free one.
+	// New root rows get a lock-table entry (§VIII-A). On a buffered
+	// transaction the self-lock was skipped above and the entry is only
+	// recorded here: Commit buffers a conditional create-free batch entry
+	// for every ref still deferred (see EnsureEntryDeferred), while a ref
+	// promoted to a held lock meanwhile needs no entry write at all —
+	// Acquire created it and Release frees it. Buffer-less modes
+	// self-acquired in step 1, so the held-lock check keeps this from
+	// overwriting their live lock; the eager put stays as the fallback
+	// for refs locked some other way.
 	if tx.lock && parts.kind == core.WriteInsert && sys.isRoot(parts.table) {
 		key, _ := phoenix.PrimaryKey(info, parts.row)
-		if _, held := tx.lockSet[lockRef{parts.table, key}]; !held {
-			if err := sys.Locks.EnsureEntry(ctx, parts.table, key); err != nil {
+		ref := lockRef{parts.table, key}
+		if _, held := tx.lockSet[ref]; !held {
+			if tx.mutator != nil {
+				if !tx.isDeferred(ref) {
+					tx.deferred = append(tx.deferred, ref)
+				}
+			} else if err := sys.Locks.EnsureEntry(ctx, parts.table, key); err != nil {
 				return err
 			}
 		}
@@ -707,6 +773,16 @@ func (sys *System) maintainUpdate(ctx *sim.Ctx, tx *Tx, action core.ViewAction, 
 	}
 	if len(rows) == 0 {
 		return nil
+	}
+
+	// The phase barriers below publish everything the transaction has
+	// buffered, including any fresh root rows whose lock entries are still
+	// deferred: promote those to held locks first, so a published row is
+	// always covered by its group lock until commit.
+	if mark && len(tx.deferred) > 0 {
+		if err := tx.promoteDeferred(ctx); err != nil {
+			return err
+		}
 	}
 
 	type target struct {
