@@ -1,0 +1,109 @@
+// Command doclint enforces the package-documentation rule: every Go package
+// under the given roots must carry a package comment — a doc comment on the
+// package clause of at least one file, in the standard "Package <name> ..."
+// form for libraries (package main may open however reads best). The
+// operator documentation (README, docs/PROTOCOL.md) leans on godoc being
+// present for every subsystem, so a missing package comment is a
+// build-breaking finding, run in CI next to gofmt and go vet:
+//
+//	go run ./cmd/doclint ./internal ./cmd
+//
+// Test files (_test.go) don't count: the comment must live on the package
+// itself.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./internal", "./cmd"}
+	}
+	var findings []string
+	for _, root := range roots {
+		f, err := lintTree(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(1)
+		}
+		findings = append(findings, f...)
+	}
+	if len(findings) > 0 {
+		sort.Strings(findings)
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d package(s) without a package comment\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks root and reports every package directory whose non-test
+// files carry no package doc comment.
+func lintTree(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+			return filepath.SkipDir
+		}
+		ok, pkg, has, err := lintDir(path)
+		if err != nil {
+			return err
+		}
+		if has && !ok {
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", path, pkg))
+		}
+		return nil
+	})
+	return findings, err
+}
+
+// lintDir parses the directory's non-test Go files; it reports whether a
+// package doc comment was found, the package name, and whether the
+// directory holds Go files at all.
+func lintDir(dir string) (ok bool, pkg string, hasGo bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, "", false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.ImportsOnly)
+		if err != nil {
+			return false, "", true, err
+		}
+		hasGo = true
+		pkg = f.Name.Name
+		if f.Doc == nil {
+			continue
+		}
+		doc := strings.TrimSpace(f.Doc.Text())
+		// Libraries must use the standard "Package <name> ..." form;
+		// commands (package main) may open however reads best.
+		if pkg == "main" && doc != "" {
+			ok = true
+		} else if strings.HasPrefix(doc, "Package "+pkg) {
+			ok = true
+		}
+	}
+	return ok, pkg, hasGo, nil
+}

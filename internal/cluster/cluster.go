@@ -1,8 +1,25 @@
 // Package cluster models the physical testbed of the paper's evaluation
-// (§IX-A): a set of named nodes connected by a uniform-latency network, as in
-// a single EC2 placement group. It provides latency accounting for RPCs and
-// bulk transfers between nodes; higher layers (sdfs, hbase, the transaction
-// layer) build their communication on top of it.
+// (§IX-A): a set of named nodes connected by a uniform-latency network, as
+// in a single EC2 placement group. Every layer above it — sdfs, zk, hbase,
+// the transaction servers — builds its communication on this package, so it
+// is where distributed work turns into simulated time.
+//
+// A Cluster is a registry of Nodes, each carrying a Role mirroring the
+// paper's layout (master, slave, transaction server, client). Communication
+// charges the calling request's sim.Ctx: RPC charges a fixed round-trip
+// between two nodes, Transfer adds per-byte cost for bulk data movement,
+// and local calls (same node) are free, exactly as the testbed's
+// co-located daemons would be.
+//
+// Server-side work optionally queues. EnableQueueing installs a LoadModel
+// (load.go) holding one virtual-time FCFS queue per node: work charged
+// through ServerWork then pays the wait behind the node's outstanding
+// backlog on top of its service time, with the waits recorded in
+// sim.Stats.QueueWaits/QueueWaitTime. The model is off by default — every
+// experiment predating it charges plain service time, byte-identically —
+// and wave harnesses advance its clock explicitly (Advance) so backlog
+// drains deterministically rather than by wall clock. Per-node load totals
+// feed the hbase region balancer's placement decisions.
 package cluster
 
 import (

@@ -75,6 +75,15 @@ func NewServerWithOracle(costs *sim.Costs, next func() int64) *Server {
 	}
 }
 
+// ActiveTxns reports the number of in-flight transactions — snapshots the
+// server is retaining conflict records for. Session layers use it to verify
+// that a disconnected client's transaction was aborted and released.
+func (s *Server) ActiveTxns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
 // allocLocked draws the next id from the oracle. Caller holds s.mu.
 func (s *Server) allocLocked() int64 {
 	id := s.next()

@@ -78,6 +78,15 @@ type Validator struct {
 	begun, commits, aborts, conflicts int64
 }
 
+// ActiveTxns reports the number of in-flight transactions — snapshots that
+// pin the retained committed write sets. Session layers use it to verify
+// that a disconnected client's transaction was aborted and released.
+func (v *Validator) ActiveTxns() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.active)
+}
+
 // NewValidator creates a standalone validator allocating timestamps from a
 // private counter (tests); deployments use NewValidatorWithOracle.
 func NewValidator(costs *sim.Costs) *Validator {

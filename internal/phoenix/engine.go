@@ -71,6 +71,33 @@ type ResultSet struct {
 	Rows    []schema.Row
 }
 
+// ColumnTypes infers the result's column types from its values: the first
+// non-NULL value of each column decides (int64 → TInt, float64 → TFloat,
+// string → TString); an all-NULL column defaults to TString. The executor
+// does not thread declared types through projection — aggregates and
+// rewrites synthesize columns — so wire servers type result sets by
+// inspection.
+func (rs *ResultSet) ColumnTypes() []schema.ColType {
+	out := make([]schema.ColType, len(rs.Columns))
+	for i, col := range rs.Columns {
+		out[i] = schema.TString
+		for _, r := range rs.Rows {
+			switch r[col].(type) {
+			case int64:
+				out[i] = schema.TInt
+			case float64:
+				out[i] = schema.TFloat
+			case string:
+				out[i] = schema.TString
+			default:
+				continue
+			}
+			break
+		}
+	}
+	return out
+}
+
 // tuple is the executor's internal row representation, keyed
 // "binding.column".
 type tuple map[string]schema.Value

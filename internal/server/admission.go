@@ -1,0 +1,99 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrServerBusy reports an admission-queue overflow: every execution slot is
+// busy and the wait queue is at its bound. The wire layer surfaces it as
+// MySQL error 1040.
+var ErrServerBusy = errors.New("server: admission queue full")
+
+// Gate is the statement admission controller: a fixed pool of execution
+// slots plus a bounded wait queue. Overload queues callers — wall-clock
+// backpressure only, no simulated time is charged for queueing — and past
+// the queue bound admission fails fast instead of accumulating unbounded
+// waiters. One slot is held for the duration of one statement execution,
+// never across client think time, so a session blocked mid-transaction on
+// its client holds locks but no slot.
+type Gate struct {
+	slots    chan struct{}
+	maxQueue int64
+
+	waiting  atomic.Int64 // current queued acquirers
+	queued   atomic.Int64 // cumulative acquisitions that had to queue
+	rejected atomic.Int64 // cumulative fast-fail rejections
+}
+
+// NewGate builds a gate with the given slot and queue bounds (defaults: 8
+// slots, 16 queued).
+func NewGate(slots, queue int) *Gate {
+	if slots <= 0 {
+		slots = 8
+	}
+	if queue < 0 {
+		queue = 16
+	}
+	g := &Gate{slots: make(chan struct{}, slots), maxQueue: int64(queue)}
+	for i := 0; i < slots; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// Acquire takes an execution slot, blocking in the wait queue when every
+// slot is busy. It reports whether the caller had to queue; when the queue
+// is at its bound it fails immediately with ErrServerBusy.
+func (g *Gate) Acquire() (bool, error) {
+	select {
+	case <-g.slots:
+		return false, nil
+	default:
+	}
+	for {
+		w := g.waiting.Load()
+		if w >= g.maxQueue {
+			g.rejected.Add(1)
+			return false, ErrServerBusy
+		}
+		if g.waiting.CompareAndSwap(w, w+1) {
+			break
+		}
+	}
+	g.queued.Add(1)
+	<-g.slots
+	g.waiting.Add(-1)
+	return true, nil
+}
+
+// TryAcquire takes a slot only if one is free — the bench uses it to occupy
+// the pool deterministically.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case <-g.slots:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot to the pool, waking the longest-queued acquirer
+// (channel order).
+func (g *Gate) Release() { g.slots <- struct{}{} }
+
+// Waiting reports the acquirers currently queued.
+func (g *Gate) Waiting() int { return int(g.waiting.Load()) }
+
+// GateStats are cumulative admission counters.
+type GateStats struct {
+	// Queued counts acquisitions that found every slot busy and waited.
+	Queued int64
+	// Rejected counts acquisitions refused because the queue was full.
+	Rejected int64
+}
+
+// Stats returns the cumulative admission counters.
+func (g *Gate) Stats() GateStats {
+	return GateStats{Queued: g.queued.Load(), Rejected: g.rejected.Load()}
+}

@@ -1,0 +1,491 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+
+	"synergy/internal/phoenix"
+	"synergy/internal/schema"
+)
+
+// MySQLError is a decoded ERR packet.
+type MySQLError struct {
+	Code     uint16
+	SQLState string
+	Message  string
+}
+
+func (e *MySQLError) Error() string {
+	return fmt.Sprintf("Error %d (%s): %s", e.Code, e.SQLState, e.Message)
+}
+
+// Client is a minimal MySQL-protocol client speaking this server's command
+// subset. It exists so the bench, the examples and the parity tests exercise
+// the real byte stream; the database/sql driver wraps it.
+type Client struct {
+	nc net.Conn
+	pc *packetConn
+}
+
+// Dial connects and handshakes. Network "inproc" dials a named in-process
+// listener; anything else goes through net.Dial. The db name selects the
+// backend ("" for the server default).
+func Dial(network, addr, user, db string) (*Client, error) {
+	var nc net.Conn
+	var err error
+	if network == "inproc" {
+		nc, err = DialInproc(addr)
+	} else {
+		nc, err = net.Dial(network, addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(nc, user, db)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient handshakes over an established conn.
+func NewClient(nc net.Conn, user, db string) (*Client, error) {
+	c := &Client{nc: nc, pc: newPacketConn(nc)}
+	greeting, err := c.pc.readPacket()
+	if err != nil {
+		return nil, err
+	}
+	if len(greeting) == 0 {
+		return nil, errShortPacket
+	}
+	if greeting[0] == 0xff {
+		return nil, parseErrPacket(greeting)
+	}
+	if greeting[0] != 0x0a {
+		return nil, fmt.Errorf("server: unexpected handshake version 0x%02x", greeting[0])
+	}
+	if err := c.pc.writePacket(handshakeResponse(user, db)); err != nil {
+		return nil, err
+	}
+	if err := c.pc.flush(); err != nil {
+		return nil, err
+	}
+	ok, err := c.pc.readPacket()
+	if err != nil {
+		return nil, err
+	}
+	if len(ok) > 0 && ok[0] == 0xff {
+		return nil, parseErrPacket(ok)
+	}
+	return c, nil
+}
+
+// handshakeResponse builds a protocol-41 client response.
+func handshakeResponse(user, db string) []byte {
+	caps := uint32(capLongPassword | capProtocol41 | capTransactions | capSecureConn)
+	if db != "" {
+		caps |= capConnectWithDB
+	}
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, caps)
+	b = binary.LittleEndian.AppendUint32(b, maxPacketPayload)
+	b = append(b, charsetUTF8)
+	b = append(b, make([]byte, 23)...)
+	b = append(b, user...)
+	b = append(b, 0)
+	b = append(b, 0) // auth response length (no password)
+	if db != "" {
+		b = append(b, db...)
+		b = append(b, 0)
+	}
+	return b
+}
+
+// Close sends COM_QUIT and closes the conn.
+func (c *Client) Close() error {
+	c.pc.resetSeq()
+	c.pc.writePacket([]byte{comQuit})
+	c.pc.flush()
+	return c.nc.Close()
+}
+
+// Ping round-trips COM_PING.
+func (c *Client) Ping() error {
+	if err := c.command([]byte{comPing}); err != nil {
+		return err
+	}
+	_, _, err := c.readResult(false)
+	return err
+}
+
+func (c *Client) command(payload []byte) error {
+	c.pc.resetSeq()
+	if err := c.pc.writePacket(payload); err != nil {
+		return err
+	}
+	return c.pc.flush()
+}
+
+// Exec runs a statement expected to return OK (writes, BEGIN/COMMIT/SET...).
+// A result set response is drained and discarded.
+func (c *Client) Exec(sql string) error {
+	if err := c.command(append([]byte{comQuery}, sql...)); err != nil {
+		return err
+	}
+	_, _, err := c.readResult(false)
+	return err
+}
+
+// Query runs a SELECT over the text protocol, decoding the rows into typed
+// values by column wire type.
+func (c *Client) Query(sql string) (*phoenix.ResultSet, error) {
+	if err := c.command(append([]byte{comQuery}, sql...)); err != nil {
+		return nil, err
+	}
+	rs, _, err := c.readResult(false)
+	if err != nil {
+		return nil, err
+	}
+	if rs == nil {
+		return nil, fmt.Errorf("server: statement returned no result set")
+	}
+	return rs, nil
+}
+
+// SysVar reads one @@ system variable.
+func (c *Client) SysVar(name string) (schema.Value, error) {
+	rs, err := c.Query("SELECT @@" + name)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs.Rows) != 1 || len(rs.Columns) != 1 {
+		return nil, fmt.Errorf("server: malformed sysvar result")
+	}
+	return rs.Rows[0][rs.Columns[0]], nil
+}
+
+// SimMicros reads the session's accumulated simulated cost (charge-free).
+func (c *Client) SimMicros() (int64, error) {
+	v, err := c.SysVar("synergy_sim_micros")
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("server: non-integer synergy_sim_micros %v", v)
+	}
+	return n, nil
+}
+
+// Begin/Commit/Rollback are conveniences over Exec.
+func (c *Client) Begin() error    { return c.Exec("BEGIN") }
+func (c *Client) Commit() error   { return c.Exec("COMMIT") }
+func (c *Client) Rollback() error { return c.Exec("ROLLBACK") }
+
+// --------------------------------------------------------------------------
+// Prepared statements
+
+// ClientStmt is a client-side handle on a server-prepared statement.
+type ClientStmt struct {
+	c         *Client
+	id        uint32
+	numParams int
+	closed    bool
+}
+
+// Prepare sends COM_STMT_PREPARE.
+func (c *Client) Prepare(sql string) (*ClientStmt, error) {
+	if err := c.command(append([]byte{comStmtPrepare}, sql...)); err != nil {
+		return nil, err
+	}
+	p, err := c.pc.readPacket()
+	if err != nil {
+		return nil, err
+	}
+	if len(p) > 0 && p[0] == 0xff {
+		return nil, parseErrPacket(p)
+	}
+	if len(p) < 12 || p[0] != 0x00 {
+		return nil, fmt.Errorf("server: malformed prepare response")
+	}
+	st := &ClientStmt{
+		c:         c,
+		id:        binary.LittleEndian.Uint32(p[1:5]),
+		numParams: int(binary.LittleEndian.Uint16(p[7:9])),
+	}
+	numCols := int(binary.LittleEndian.Uint16(p[5:7]))
+	// Drain parameter and column definition blocks (each EOF-terminated).
+	for _, n := range []int{st.numParams, numCols} {
+		if n == 0 {
+			continue
+		}
+		for i := 0; i <= n; i++ { // n defs + EOF
+			if _, err := c.pc.readPacket(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// NumParams reports the statement's placeholder count.
+func (s *ClientStmt) NumParams() int { return s.numParams }
+
+func (s *ClientStmt) execute(args []schema.Value) error {
+	if s.closed {
+		return fmt.Errorf("server: statement closed")
+	}
+	if len(args) != s.numParams {
+		return fmt.Errorf("server: statement wants %d args, got %d", s.numParams, len(args))
+	}
+	b := []byte{comStmtExecute}
+	b = binary.LittleEndian.AppendUint32(b, s.id)
+	b = append(b, 0x00)                        // flags
+	b = binary.LittleEndian.AppendUint32(b, 1) // iteration count
+	if s.numParams > 0 {
+		bitmap := make([]byte, (s.numParams+7)/8)
+		for i, a := range args {
+			if a == nil {
+				bitmap[i/8] |= 1 << (i % 8)
+			}
+		}
+		b = append(b, bitmap...)
+		b = append(b, 1) // new params bound
+		for _, a := range args {
+			switch a.(type) {
+			case nil:
+				b = append(b, typeNull, 0)
+			case int64:
+				b = append(b, typeLonglong, 0)
+			case float64:
+				b = append(b, typeDouble, 0)
+			case string:
+				b = append(b, typeVarString, 0)
+			default:
+				return fmt.Errorf("server: unsupported arg type %T", a)
+			}
+		}
+		for _, a := range args {
+			switch x := a.(type) {
+			case int64:
+				b = binary.LittleEndian.AppendUint64(b, uint64(x))
+			case float64:
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(x))
+			case string:
+				b = appendLencString(b, x)
+			}
+		}
+	}
+	return s.c.command(b)
+}
+
+// Exec runs the prepared statement expecting an OK response.
+func (s *ClientStmt) Exec(args ...schema.Value) error {
+	if err := s.execute(args); err != nil {
+		return err
+	}
+	_, _, err := s.c.readResult(true)
+	return err
+}
+
+// Query runs the prepared statement expecting a binary result set.
+func (s *ClientStmt) Query(args ...schema.Value) (*phoenix.ResultSet, error) {
+	if err := s.execute(args); err != nil {
+		return nil, err
+	}
+	rs, _, err := s.c.readResult(true)
+	if err != nil {
+		return nil, err
+	}
+	if rs == nil {
+		return nil, fmt.Errorf("server: statement returned no result set")
+	}
+	return rs, nil
+}
+
+// Close frees the server-side statement (COM_STMT_CLOSE, no response).
+func (s *ClientStmt) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	b := []byte{comStmtClose}
+	b = binary.LittleEndian.AppendUint32(b, s.id)
+	return s.c.command(b)
+}
+
+// --------------------------------------------------------------------------
+// Response decoding
+
+func parseErrPacket(p []byte) error {
+	if len(p) < 3 {
+		return errShortPacket
+	}
+	e := &MySQLError{Code: binary.LittleEndian.Uint16(p[1:3]), SQLState: "HY000"}
+	off := 3
+	if off < len(p) && p[off] == '#' && off+6 <= len(p) {
+		e.SQLState = string(p[off+1 : off+6])
+		off += 6
+	}
+	e.Message = string(p[off:])
+	return e
+}
+
+func isEOFPacket(p []byte) bool { return len(p) > 0 && len(p) < 9 && p[0] == 0xfe }
+
+// readResult consumes one command response: (nil, affected, nil) for OK,
+// a decoded result set for a row response, an error for ERR.
+func (c *Client) readResult(binaryRows bool) (*phoenix.ResultSet, uint64, error) {
+	p, err := c.pc.readPacket()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(p) == 0 {
+		return nil, 0, errShortPacket
+	}
+	switch p[0] {
+	case 0x00:
+		affected, _, err := readLencInt(p, 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nil, affected, nil
+	case 0xff:
+		return nil, 0, parseErrPacket(p)
+	case 0xfe:
+		return nil, 0, nil // EOF response (COM_FIELD_LIST)
+	}
+	ncols64, _, err := readLencInt(p, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	ncols := int(ncols64)
+	names := make([]string, ncols)
+	types := make([]byte, ncols)
+	for i := 0; i < ncols; i++ {
+		def, err := c.pc.readPacket()
+		if err != nil {
+			return nil, 0, err
+		}
+		names[i], types[i], err = parseColumnDef(def)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if _, err := c.pc.readPacket(); err != nil { // EOF after defs
+		return nil, 0, err
+	}
+	rs := &phoenix.ResultSet{Columns: names}
+	for {
+		rp, err := c.pc.readPacket()
+		if err != nil {
+			return nil, 0, err
+		}
+		if isEOFPacket(rp) {
+			return rs, 0, nil
+		}
+		if rp[0] == 0xff {
+			return nil, 0, parseErrPacket(rp)
+		}
+		var row schema.Row
+		if binaryRows {
+			row, err = parseBinaryRow(rp, names, types)
+		} else {
+			row, err = parseTextRow(rp, names, types)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+}
+
+// parseColumnDef extracts the name and wire type of a column definition.
+func parseColumnDef(p []byte) (string, byte, error) {
+	off := 0
+	var err error
+	for i := 0; i < 4; i++ { // catalog, schema, table, org table
+		if _, off, err = readLencBytes(p, off); err != nil {
+			return "", 0, err
+		}
+	}
+	nameB, off, err := readLencBytes(p, off)
+	if err != nil {
+		return "", 0, err
+	}
+	if _, off, err = readLencBytes(p, off); err != nil { // org name
+		return "", 0, err
+	}
+	if _, off, err = readLencInt(p, off); err != nil { // fixed-length marker
+		return "", 0, err
+	}
+	off += 2 + 4 // charset, column length
+	if off >= len(p) {
+		return "", 0, errShortPacket
+	}
+	return string(nameB), p[off], nil
+}
+
+// textValue decodes one text-protocol cell by its column wire type.
+func textValue(s []byte, wireType byte) (schema.Value, error) {
+	switch wireType {
+	case typeTiny, typeShort, typeLong, typeInt24, typeLonglong:
+		return strconv.ParseInt(string(s), 10, 64)
+	case typeFloat, typeDouble, typeNewDecimal:
+		return strconv.ParseFloat(string(s), 64)
+	default:
+		return string(s), nil
+	}
+}
+
+func parseTextRow(p []byte, names []string, types []byte) (schema.Row, error) {
+	row := schema.Row{}
+	off := 0
+	for i, name := range names {
+		if off < len(p) && p[off] == 0xfb {
+			row[name] = nil
+			off++
+			continue
+		}
+		cell, next, err := readLencBytes(p, off)
+		if err != nil {
+			return nil, err
+		}
+		v, err := textValue(cell, types[i])
+		if err != nil {
+			return nil, err
+		}
+		row[name], off = v, next
+	}
+	return row, nil
+}
+
+func parseBinaryRow(p []byte, names []string, types []byte) (schema.Row, error) {
+	if len(p) == 0 || p[0] != 0x00 {
+		return nil, fmt.Errorf("server: malformed binary row")
+	}
+	nb := (len(names) + 7 + 2) / 8
+	if 1+nb > len(p) {
+		return nil, errShortPacket
+	}
+	bitmap := p[1 : 1+nb]
+	off := 1 + nb
+	row := schema.Row{}
+	for i, name := range names {
+		pos := i + 2
+		if bitmap[pos/8]&(1<<(pos%8)) != 0 {
+			row[name] = nil
+			continue
+		}
+		v, next, err := decodeBinaryValue(p, off, types[i], false)
+		if err != nil {
+			return nil, err
+		}
+		row[name], off = v, next
+	}
+	return row, nil
+}

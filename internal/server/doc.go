@@ -1,0 +1,31 @@
+// Package server is Synergy's serving layer: a MySQL-compatible wire
+// listener over per-connection sessions, with admission control above the
+// engine.
+//
+// The wire protocol is the MySQL client/server protocol 4.1 subset a
+// database/sql-shaped client needs: handshake, COM_QUERY with text result
+// sets, COM_STMT_PREPARE/EXECUTE/CLOSE with binary result sets, COM_PING
+// and COM_QUIT. Intentional deviations from the real protocol are listed in
+// docs/PROTOCOL.md.
+//
+// One connection owns one Session — the transaction context. A Session
+// unifies the three engine transaction shapes (synergy.Tx for full
+// deployments, mvcc.SessionTx and occ.SessionTx for engine-direct ones)
+// behind BEGIN/COMMIT/ROLLBACK with autocommit on top: outside an explicit
+// transaction every write runs as its own WAL-logged transaction and every
+// read as its own snapshot. Sessions pick their concurrency mode
+// (`SET synergy_mode`) by switching between the server's named backends —
+// one deployed engine per mode — and their freshness contract
+// (`SET synergy_reads`) per session, never racing on a global default.
+//
+// Above the sessions sits the admission Gate: a fixed number of statement
+// execution slots plus a bounded wait queue. Overload queues callers with
+// backpressure instead of melting the engine; past the queue bound the
+// server fails fast with a clean "too many connections" error, and a
+// mid-transaction disconnect rolls the session's transaction back, releasing
+// its locks and snapshots.
+//
+// All engine work is charged to a per-session sim.Ctx, so wire-served
+// latencies are as deterministic as in-process ones; the per-session total
+// is readable as `SELECT @@synergy_sim_micros`.
+package server

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strings"
+
+	"synergy/internal/phoenix"
+	"synergy/internal/schema"
+)
+
+// The database/sql driver, registered as "synergy". DSNs follow the familiar
+// mysql shape:
+//
+//	[user@]network(address)[/db][?mode=<backend>&reads=<stale|watermark>]
+//
+// e.g. "app@inproc(bench)/synergy?mode=occ&reads=watermark". The db segment
+// and the mode parameter both select a backend; mode wins when both are set.
+// Zero-argument Exec/Query go over the text protocol; statements with
+// placeholders take the server-side prepared path (binary protocol).
+
+func init() {
+	sql.Register("synergy", &sqlDriver{})
+}
+
+type sqlDriver struct{}
+
+// dsn is a parsed driver DSN.
+type dsn struct {
+	user, network, addr, db string
+	mode, reads             string
+}
+
+func parseDSN(s string) (dsn, error) {
+	var d dsn
+	if i := strings.IndexByte(s, '@'); i >= 0 {
+		d.user, s = s[:i], s[i+1:]
+	}
+	open := strings.IndexByte(s, '(')
+	closeP := strings.IndexByte(s, ')')
+	if open < 0 || closeP < open {
+		return d, fmt.Errorf("synergy driver: DSN wants network(address), got %q", s)
+	}
+	d.network, d.addr = s[:open], s[open+1:closeP]
+	rest := s[closeP+1:]
+	var query string
+	if i := strings.IndexByte(rest, '?'); i >= 0 {
+		rest, query = rest[:i], rest[i+1:]
+	}
+	d.db = strings.TrimPrefix(rest, "/")
+	for _, kv := range strings.Split(query, "&") {
+		if kv == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		switch k {
+		case "mode":
+			d.mode = v
+		case "reads":
+			d.reads = v
+		default:
+			return d, fmt.Errorf("synergy driver: unknown DSN parameter %q", k)
+		}
+	}
+	if d.user == "" {
+		d.user = "synergy"
+	}
+	return d, nil
+}
+
+func (*sqlDriver) Open(name string) (driver.Conn, error) {
+	d, err := parseDSN(name)
+	if err != nil {
+		return nil, err
+	}
+	db := d.db
+	if d.mode != "" {
+		db = d.mode
+	}
+	c, err := Dial(d.network, d.addr, d.user, db)
+	if err != nil {
+		return nil, err
+	}
+	if d.reads != "" {
+		if err := c.Exec("SET synergy_reads = '" + d.reads + "'"); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return &dconn{c: c}, nil
+}
+
+// dconn adapts Client to driver.Conn (+ Execer/Queryer/Pinger fast paths).
+type dconn struct {
+	c *Client
+}
+
+func (dc *dconn) Prepare(query string) (driver.Stmt, error) {
+	st, err := dc.c.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &dstmt{st: st}, nil
+}
+
+func (dc *dconn) Close() error { return dc.c.Close() }
+
+func (dc *dconn) Begin() (driver.Tx, error) {
+	if err := dc.c.Begin(); err != nil {
+		return nil, err
+	}
+	return &dtx{c: dc.c}, nil
+}
+
+func (dc *dconn) Ping() error { return dc.c.Ping() }
+
+// Exec handles zero-argument statements over the text protocol; with
+// placeholders it defers to the prepared path (ErrSkip).
+func (dc *dconn) Exec(query string, args []driver.Value) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, driver.ErrSkip
+	}
+	if err := dc.c.Exec(query); err != nil {
+		return nil, err
+	}
+	return noResult{}, nil
+}
+
+// Query handles zero-argument queries over the text protocol.
+func (dc *dconn) Query(query string, args []driver.Value) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, driver.ErrSkip
+	}
+	rs, err := dc.c.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	return &drows{rs: rs}, nil
+}
+
+// noResult reports zero affected rows: the engine does not track per-row
+// write counts (a documented deviation).
+type noResult struct{}
+
+func (noResult) LastInsertId() (int64, error) { return 0, nil }
+func (noResult) RowsAffected() (int64, error) { return 0, nil }
+
+type dtx struct{ c *Client }
+
+func (t *dtx) Commit() error   { return t.c.Commit() }
+func (t *dtx) Rollback() error { return t.c.Rollback() }
+
+// dstmt adapts ClientStmt to driver.Stmt.
+type dstmt struct {
+	st *ClientStmt
+}
+
+func (s *dstmt) Close() error  { return s.st.Close() }
+func (s *dstmt) NumInput() int { return s.st.NumParams() }
+
+func convertArgs(args []driver.Value) ([]schema.Value, error) {
+	out := make([]schema.Value, len(args))
+	for i, a := range args {
+		switch x := a.(type) {
+		case nil:
+			out[i] = nil
+		case int64:
+			out[i] = x
+		case float64:
+			out[i] = x
+		case string:
+			out[i] = x
+		case []byte:
+			out[i] = string(x)
+		case bool:
+			if x {
+				out[i] = int64(1)
+			} else {
+				out[i] = int64(0)
+			}
+		default:
+			return nil, fmt.Errorf("synergy driver: unsupported argument type %T", a)
+		}
+	}
+	return out, nil
+}
+
+func (s *dstmt) Exec(args []driver.Value) (driver.Result, error) {
+	vals, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.st.Exec(vals...); err != nil {
+		return nil, err
+	}
+	return noResult{}, nil
+}
+
+func (s *dstmt) Query(args []driver.Value) (driver.Rows, error) {
+	vals, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := s.st.Query(vals...)
+	if err != nil {
+		return nil, err
+	}
+	return &drows{rs: rs}, nil
+}
+
+// drows adapts a decoded result set to driver.Rows.
+type drows struct {
+	rs  *phoenix.ResultSet
+	pos int
+}
+
+func (r *drows) Columns() []string { return r.rs.Columns }
+func (r *drows) Close() error      { return nil }
+
+func (r *drows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.rs.Rows) {
+		return io.EOF
+	}
+	row := r.rs.Rows[r.pos]
+	r.pos++
+	for i, col := range r.rs.Columns {
+		switch x := row[col].(type) {
+		case nil:
+			dest[i] = nil
+		case int64:
+			dest[i] = x
+		case float64:
+			dest[i] = x
+		case string:
+			dest[i] = x
+		default:
+			return fmt.Errorf("synergy driver: unsupported column value %T", x)
+		}
+	}
+	return nil
+}

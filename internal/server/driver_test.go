@@ -1,0 +1,102 @@
+package server
+
+import (
+	"database/sql"
+	"fmt"
+	"testing"
+)
+
+// TestDatabaseSQLDriver runs the BEGIN/INSERT/SELECT/COMMIT shape through
+// the stdlib database/sql machinery in all three concurrency modes.
+func TestDatabaseSQLDriver(t *testing.T) {
+	env := startServer(t, Config{})
+	for i, mode := range []string{"hier", "mvcc", "occ"} {
+		t.Run(mode, func(t *testing.T) {
+			db, err := sql.Open("synergy", fmt.Sprintf("app@inproc(%s)?mode=%s&reads=stale", env.addr, mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			// One conn per pool: the wire session is stateful.
+			db.SetMaxOpenConns(1)
+			if err := db.Ping(); err != nil {
+				t.Fatal(err)
+			}
+
+			base := int64(2000 + 100*i)
+			val := fmt.Sprintf("sql-%s", mode)
+			tx, err := db.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tx.Exec("INSERT INTO Leaf (LID, L_RID, LVal) VALUES (?, ?, ?)", base, int64(1), val); err != nil {
+				t.Fatal(err)
+			}
+			// The transaction reads its own buffered write.
+			var lid int64
+			if err := tx.QueryRow("SELECT l.LID FROM Root as r, Leaf as l WHERE r.RID = l.L_RID and l.LVal = ?", val).Scan(&lid); err != nil {
+				t.Fatal(err)
+			}
+			if lid != base {
+				t.Fatalf("in-txn read LID %d, want %d", lid, base)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Committed state via a prepared query.
+			st, err := db.Prepare(testSelect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			rows, err := st.Query(val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rows.Close()
+			n := 0
+			for rows.Next() {
+				var rid, lid, lrid int64
+				var rval, lval string
+				if err := rows.Scan(&rid, &rval, &lid, &lrid, &lval); err != nil {
+					t.Fatal(err)
+				}
+				if lval != val || rid != 1 {
+					t.Fatalf("row (%d,%s,%d,%d,%s)", rid, rval, lid, lrid, lval)
+				}
+				n++
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if n != 1 {
+				t.Fatalf("got %d rows, want 1", n)
+			}
+
+			// Rollback through database/sql leaves nothing behind.
+			tx, err = db.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tx.Exec("INSERT INTO Leaf (LID, L_RID, LVal) VALUES (?, ?, ?)", base+1, int64(2), "sql-doomed"); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+			var count int
+			rows2, err := st.Query("sql-doomed")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rows2.Next() {
+				count++
+			}
+			rows2.Close()
+			if count != 0 {
+				t.Fatalf("rolled-back row visible via database/sql")
+			}
+		})
+	}
+}

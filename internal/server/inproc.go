@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The in-process transport: named listeners over net.Pipe, so benches,
+// examples and tests can drive the full wire protocol through real net.Conn
+// byte streams without opening TCP ports (deterministic, sandbox-friendly).
+// The server side Serve()s an inproc listener exactly like a TCP one; the
+// client side Dial()s it by name (the driver's "inproc" network).
+
+var inprocMu sync.Mutex
+var inprocListeners = map[string]*InprocListener{}
+
+// InprocListener is a net.Listener whose Accept receives the server half of
+// a net.Pipe for every DialInproc against its name.
+type InprocListener struct {
+	name   string
+	ch     chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+// inprocAddr names an in-process endpoint.
+type inprocAddr string
+
+func (a inprocAddr) Network() string { return "inproc" }
+func (a inprocAddr) String() string  { return string(a) }
+
+// ListenInproc registers a named in-process listener.
+func ListenInproc(name string) (*InprocListener, error) {
+	inprocMu.Lock()
+	defer inprocMu.Unlock()
+	if _, dup := inprocListeners[name]; dup {
+		return nil, fmt.Errorf("server: inproc address %q already listening", name)
+	}
+	l := &InprocListener{name: name, ch: make(chan net.Conn), closed: make(chan struct{})}
+	inprocListeners[name] = l
+	return l, nil
+}
+
+// DialInproc connects to a named in-process listener.
+func DialInproc(name string) (net.Conn, error) {
+	inprocMu.Lock()
+	l := inprocListeners[name]
+	inprocMu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("server: no inproc listener %q", name)
+	}
+	client, srv := net.Pipe()
+	select {
+	case l.ch <- srv:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		srv.Close()
+		return nil, fmt.Errorf("server: inproc listener %q closed", name)
+	}
+}
+
+// Accept waits for the next in-process connection.
+func (l *InprocListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("server: inproc listener %q closed", l.name)
+	}
+}
+
+// Close unregisters the listener and fails pending Accepts and Dials.
+func (l *InprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		inprocMu.Lock()
+		if inprocListeners[l.name] == l {
+			delete(inprocListeners, l.name)
+		}
+		inprocMu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the listener's in-process name.
+func (l *InprocListener) Addr() net.Addr { return inprocAddr(l.name) }

@@ -1,0 +1,733 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"synergy/internal/mvcc"
+	"synergy/internal/occ"
+	"synergy/internal/phoenix"
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+	"synergy/internal/synergy"
+)
+
+// testSchema is the Root/Leaf shape with a materialized join view (the same
+// fanout the contention bench uses).
+func testSchema() (*schema.Schema, []string) {
+	s := schema.New()
+	s.AddRelation(&schema.Relation{
+		Name: "Root",
+		Columns: []schema.Column{
+			{Name: "RID", Type: schema.TInt},
+			{Name: "RVal", Type: schema.TString},
+		},
+		PK: []string{"RID"},
+	})
+	s.AddRelation(&schema.Relation{
+		Name: "Leaf",
+		Columns: []schema.Column{
+			{Name: "LID", Type: schema.TInt},
+			{Name: "L_RID", Type: schema.TInt},
+			{Name: "LVal", Type: schema.TString},
+		},
+		PK:  []string{"LID"},
+		FKs: []schema.ForeignKey{{Cols: []string{"L_RID"}, RefTable: "Root"}},
+	})
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s, []string{
+		"SELECT * FROM Root as r, Leaf as l WHERE r.RID = l.L_RID and l.LVal = ?",
+		"INSERT INTO Leaf (LID, L_RID, LVal) VALUES (?, ?, ?)",
+		"UPDATE Root SET RVal = ? WHERE RID = ?",
+	}
+}
+
+const testSelect = "SELECT * FROM Root as r, Leaf as l WHERE r.RID = l.L_RID and l.LVal = ?"
+
+func deploySystem(t *testing.T, mode synergy.ConcurrencyMode) *synergy.System {
+	t.Helper()
+	s, workload := testSchema()
+	cfg := synergy.Config{Concurrency: mode}
+	if mode != synergy.Hierarchical {
+		cfg.MaxVersions = 16
+	}
+	sys, err := synergy.New(s, []string{"Root"}, workload, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roots, leaves []schema.Row
+	for i := int64(1); i <= 4; i++ {
+		roots = append(roots, schema.Row{"RID": i, "RVal": fmt.Sprintf("r%d", i)})
+		leaves = append(leaves, schema.Row{"LID": i, "L_RID": i, "LVal": fmt.Sprintf("l%d", i)})
+	}
+	if err := sys.LoadBase("Root", roots); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadBase("Leaf", leaves); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.BuildViews(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+type testEnv struct {
+	srv     *Server
+	addr    string
+	systems map[string]*synergy.System
+}
+
+// startServer deploys one system per concurrency mode and serves them as
+// backends hier/mvcc/occ (plus engine-direct mvccdirect/occdirect adapters)
+// over an in-process listener.
+func startServer(t *testing.T, cfg Config) *testEnv {
+	t.Helper()
+	env := &testEnv{addr: t.Name(), systems: map[string]*synergy.System{}}
+	for name, mode := range map[string]synergy.ConcurrencyMode{
+		"hier": synergy.Hierarchical, "mvcc": synergy.MVCC, "occ": synergy.OCC,
+	} {
+		env.systems[name] = deploySystem(t, mode)
+	}
+	mv, oc := env.systems["mvcc"], env.systems["occ"]
+	cfg.Backends = []Backend{
+		SystemBackend("hier", env.systems["hier"]),
+		SystemBackend("mvcc", mv),
+		SystemBackend("occ", oc),
+		{Name: "mvccdirect", NewSession: func() Session {
+			return NewMVCCSession(mvcc.NewSession(mv.Engine, mv.MVCCServer))
+		}},
+		{Name: "occdirect", NewSession: func() Session {
+			return NewOCCSession(occ.NewSession(oc.Engine, oc.OCC))
+		}},
+	}
+	cfg.Default = "hier"
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ListenInproc(env.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	env.srv = srv
+	return env
+}
+
+func (e *testEnv) dial(t *testing.T, db string) *Client {
+	t.Helper()
+	c, err := Dial("inproc", e.addr, "test", db)
+	if err != nil {
+		t.Fatalf("dial %s: %v", db, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func sortRows(rows []schema.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j])
+	})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWireParity drives BEGIN/INSERT/SELECT/COMMIT through the wire in every
+// concurrency mode and checks the rows the wire returns are identical to the
+// in-process API's (the acceptance parity criterion).
+func TestWireParity(t *testing.T) {
+	env := startServer(t, Config{})
+	for i, mode := range []string{"hier", "mvcc", "occ"} {
+		t.Run(mode, func(t *testing.T) {
+			c := env.dial(t, mode)
+			base := int64(100 + 10*i)
+			val := fmt.Sprintf("wire-%s-a", mode)
+
+			// Autocommit write over the text protocol (literals).
+			if err := c.Exec(fmt.Sprintf(
+				"INSERT INTO Leaf (LID, L_RID, LVal) VALUES (%d, 1, '%s')", base, val)); err != nil {
+				t.Fatalf("autocommit insert: %v", err)
+			}
+
+			// Multi-statement transaction with a prepared read that must see
+			// the transaction's own buffered write.
+			if err := c.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			txVal := fmt.Sprintf("wire-%s-b", mode)
+			if err := c.Exec(fmt.Sprintf(
+				"INSERT INTO Leaf (LID, L_RID, LVal) VALUES (%d, 2, '%s')", base+1, txVal)); err != nil {
+				t.Fatalf("in-txn insert: %v", err)
+			}
+			st, err := c.Prepare(testSelect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			rs, err := st.Query(txVal)
+			if err != nil {
+				t.Fatalf("in-txn select: %v", err)
+			}
+			if len(rs.Rows) != 1 {
+				t.Fatalf("in-txn select saw %d rows, want 1 (own write)", len(rs.Rows))
+			}
+			if err := c.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Parity: the committed rows over the wire (binary protocol)
+			// must equal the in-process API's result exactly.
+			sel := sqlparser.MustParse(testSelect).(*sqlparser.SelectStmt)
+			for _, v := range []string{val, txVal} {
+				wire, err := st.Query(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err := env.systems[mode].Query(sim.NewCtx(), sel, []schema.Value{v})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sortRows(wire.Rows)
+				sortRows(direct.Rows)
+				if !reflect.DeepEqual(wire.Columns, direct.Columns) {
+					t.Fatalf("columns diverge: wire %v direct %v", wire.Columns, direct.Columns)
+				}
+				if !reflect.DeepEqual(wire.Rows, direct.Rows) {
+					t.Fatalf("rows diverge for %q:\nwire   %v\ndirect %v", v, wire.Rows, direct.Rows)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDirectBackends exercises the mvcc.SessionTx / occ.SessionTx
+// adapters end to end.
+func TestEngineDirectBackends(t *testing.T) {
+	env := startServer(t, Config{})
+	for _, mode := range []string{"mvccdirect", "occdirect"} {
+		t.Run(mode, func(t *testing.T) {
+			c := env.dial(t, mode)
+			if err := c.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Exec("UPDATE Root SET RVal = 'direct' WHERE RID = 3"); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			rs, err := c.Query("SELECT RVal FROM Root WHERE RID = 3")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs.Rows) != 1 || rs.Rows[0]["RVal"] != "direct" {
+				t.Fatalf("unexpected rows %v", rs.Rows)
+			}
+		})
+	}
+}
+
+// TestRollbackDiscards checks explicit ROLLBACK leaves no trace.
+func TestRollbackDiscards(t *testing.T) {
+	env := startServer(t, Config{})
+	for _, mode := range []string{"hier", "mvcc", "occ"} {
+		c := env.dial(t, mode)
+		if err := c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Exec("INSERT INTO Leaf (LID, L_RID, LVal) VALUES (500, 1, 'doomed')"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Prepare(testSelect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := st.Query("doomed")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Rows) != 0 {
+			t.Fatalf("%s: rolled-back insert visible: %v", mode, rs.Rows)
+		}
+		st.Close()
+	}
+}
+
+// TestStatementErrorAbortsTxn checks the MySQL-deadlock-style contract: a
+// statement error inside an open transaction rolls the whole transaction
+// back and the error says so.
+func TestStatementErrorAbortsTxn(t *testing.T) {
+	env := startServer(t, Config{})
+	c := env.dial(t, "hier")
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("INSERT INTO Leaf (LID, L_RID, LVal) VALUES (600, 1, 'pre-error')"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Exec("INSERT INTO Nonexistent (X) VALUES (1)")
+	var me *MySQLError
+	if !errors.As(err, &me) || me.Code != errUnknownTable {
+		t.Fatalf("want error %d, got %v", errUnknownTable, err)
+	}
+	// COMMIT after the implicit rollback is a no-op OK, and the pre-error
+	// write is gone.
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Prepare(testSelect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := st.Query("pre-error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 0 {
+		t.Fatalf("aborted transaction's write visible: %v", rs.Rows)
+	}
+}
+
+// TestMidTxnDisconnect kills connections mid-transaction and checks the
+// teardown path rolls back: hierarchical locks release (a second session can
+// write the same row), and MVCC/OCC snapshots unpin (ActiveTxns drains).
+func TestMidTxnDisconnect(t *testing.T) {
+	env := startServer(t, Config{})
+
+	t.Run("hier-lock-release", func(t *testing.T) {
+		a := env.dial(t, "hier")
+		if err := a.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Exec("UPDATE Root SET RVal = 'dirty' WHERE RID = 1"); err != nil {
+			t.Fatal(err)
+		}
+		live := env.srv.Stats().LiveConns
+		a.nc.Close() // vanish without COM_QUIT
+		waitFor(t, "teardown", func() bool { return env.srv.Stats().LiveConns < live })
+
+		b := env.dial(t, "hier")
+		if err := b.Exec("UPDATE Root SET RVal = 'after' WHERE RID = 1"); err != nil {
+			t.Fatalf("lock not released after disconnect: %v", err)
+		}
+		rs, err := b.Query("SELECT RVal FROM Root WHERE RID = 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Rows) != 1 || rs.Rows[0]["RVal"] != "after" {
+			t.Fatalf("want rolled-back then rewritten row, got %v", rs.Rows)
+		}
+	})
+
+	t.Run("mvcc-snapshot-release", func(t *testing.T) {
+		c := env.dial(t, "mvcc")
+		if err := c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Exec("UPDATE Root SET RVal = 'dirty' WHERE RID = 2"); err != nil {
+			t.Fatal(err)
+		}
+		if n := env.systems["mvcc"].MVCCServer.ActiveTxns(); n == 0 {
+			t.Fatal("expected an active MVCC transaction")
+		}
+		c.nc.Close()
+		waitFor(t, "mvcc txn drain", func() bool {
+			return env.systems["mvcc"].MVCCServer.ActiveTxns() == 0
+		})
+	})
+
+	t.Run("occ-txn-release", func(t *testing.T) {
+		c := env.dial(t, "occ")
+		if err := c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Exec("UPDATE Root SET RVal = 'dirty' WHERE RID = 4"); err != nil {
+			t.Fatal(err)
+		}
+		if n := env.systems["occ"].OCC.ActiveTxns(); n == 0 {
+			t.Fatal("expected an active OCC transaction")
+		}
+		c.nc.Close()
+		waitFor(t, "occ txn drain", func() bool {
+			return env.systems["occ"].OCC.ActiveTxns() == 0
+		})
+	})
+}
+
+// TestPreparedStmtLifecycle checks COM_STMT_CLOSE frees server resources and
+// the registry cap rejects with 1461.
+func TestPreparedStmtLifecycle(t *testing.T) {
+	env := startServer(t, Config{})
+	c := env.dial(t, "hier")
+
+	count := func() int64 {
+		v, err := c.SysVar("synergy_prepared_stmts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.(int64)
+	}
+
+	st1, err := c.Prepare(testSelect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Prepare("UPDATE Root SET RVal = ? WHERE RID = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 2 {
+		t.Fatalf("prepared count %d, want 2", got)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// COM_STMT_CLOSE has no response; the next sysvar round-trip proves it
+	// was processed in order.
+	if got := count(); got != 1 {
+		t.Fatalf("prepared count after close %d, want 1", got)
+	}
+	if err := st2.Exec("still-works", int64(1)); err != nil {
+		t.Fatalf("surviving statement broken: %v", err)
+	}
+
+	for i := int64(1); count() < maxPreparedStmts; i++ {
+		if _, err := c.Prepare(testSelect); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = c.Prepare(testSelect)
+	var me *MySQLError
+	if !errors.As(err, &me) || me.Code != errTooManyStmts {
+		t.Fatalf("want error %d at the cap, got %v", errTooManyStmts, err)
+	}
+}
+
+// TestAdmissionQueue fills the execution slots, checks overflow queues (not
+// errors), and past the queue bound rejects cleanly with 1040.
+func TestAdmissionQueue(t *testing.T) {
+	env := startServer(t, Config{Slots: 1, Queue: 2})
+	gate := env.srv.Gate()
+	if !gate.TryAcquire() {
+		t.Fatal("could not occupy the slot")
+	}
+
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		c := env.dial(t, "hier")
+		go func(c *Client) {
+			_, err := c.Query("SELECT RVal FROM Root WHERE RID = 1")
+			done <- err
+		}(c)
+	}
+	waitFor(t, "two queued statements", func() bool { return gate.Waiting() == 2 })
+
+	// Queue is at its bound: the next statement is refused, not queued.
+	over := env.dial(t, "hier")
+	_, err := over.Query("SELECT RVal FROM Root WHERE RID = 1")
+	var me *MySQLError
+	if !errors.As(err, &me) || me.Code != errConCount {
+		t.Fatalf("want rejection %d, got %v", errConCount, err)
+	}
+	// The rejected connection is still usable (clean rejection, no hangup).
+	if err := over.Ping(); err != nil {
+		t.Fatalf("connection broken after rejection: %v", err)
+	}
+
+	gate.Release()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("queued statement failed: %v", err)
+		}
+	}
+	st := gate.Stats()
+	if st.Queued != 2 || st.Rejected != 1 {
+		t.Fatalf("gate stats %+v, want Queued=2 Rejected=1", st)
+	}
+}
+
+// TestConnCap checks the connection-level cap answers the handshake with
+// 1040 instead of accepting.
+func TestConnCap(t *testing.T) {
+	env := startServer(t, Config{MaxConns: 1})
+	env.dial(t, "hier") // occupies the only slot
+	_, err := Dial("inproc", env.addr, "test", "hier")
+	var me *MySQLError
+	if !errors.As(err, &me) || me.Code != errConCount {
+		t.Fatalf("want connect rejection %d, got %v", errConCount, err)
+	}
+	if got := env.srv.Stats().RejectedConns; got != 1 {
+		t.Fatalf("RejectedConns %d, want 1", got)
+	}
+}
+
+// TestSessionVariables covers mode/reads switching and the sim-cost
+// introspection contract.
+func TestSessionVariables(t *testing.T) {
+	env := startServer(t, Config{})
+	c := env.dial(t, "hier")
+
+	if v, _ := c.SysVar("synergy_mode"); v != "hier" {
+		t.Fatalf("initial mode %v", v)
+	}
+	if err := c.Exec("SET synergy_mode = 'occ'"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.SysVar("synergy_mode"); v != "occ" {
+		t.Fatalf("mode after switch %v", v)
+	}
+	if err := c.Exec("SET synergy_mode = 'nope'"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	// Mid-transaction switches are refused.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("SET synergy_mode = 'hier'"); err == nil {
+		t.Fatal("mid-txn mode switch accepted")
+	}
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Exec("SET synergy_reads = 'watermark'"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.SysVar("synergy_reads"); v != "watermark" {
+		t.Fatalf("reads %v", v)
+	}
+	if err := c.Exec("SET synergy_reads = 'sometimes'"); err == nil {
+		t.Fatal("bad reads value accepted")
+	}
+
+	// Unknown SETs are tolerated (client handshake chatter)...
+	if err := c.Exec("SET NAMES utf8"); err != nil {
+		t.Fatal(err)
+	}
+	// ...but unknown sysvar reads are not.
+	if _, err := c.SysVar("no_such_thing"); err == nil {
+		t.Fatal("unknown sysvar read accepted")
+	}
+
+	// Introspection is charge-free: back-to-back reads return the same
+	// accumulated cost, and work strictly grows it.
+	a, err := c.SimMicros()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.SimMicros()
+	if a != b {
+		t.Fatalf("sysvar read charged cost: %d then %d", a, b)
+	}
+	if _, err := c.Query("SELECT RVal FROM Root WHERE RID = 1"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.SimMicros()
+	if after <= a {
+		t.Fatalf("query did not accrue cost: %d -> %d", a, after)
+	}
+}
+
+// TestAutocommitToggle checks SET autocommit=0 opens implicit transactions
+// and =1 commits the open one.
+func TestAutocommitToggle(t *testing.T) {
+	env := startServer(t, Config{})
+	c := env.dial(t, "mvcc")
+	if err := c.Exec("SET autocommit = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec("INSERT INTO Leaf (LID, L_RID, LVal) VALUES (700, 1, 'implicit')"); err != nil {
+		t.Fatal(err)
+	}
+	// The write is buffered in the implicit transaction; SET autocommit=1
+	// commits it (MySQL semantics).
+	if err := c.Exec("SET autocommit = 1"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Prepare(testSelect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := st.Query("implicit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("implicit transaction not committed: %v", rs.Rows)
+	}
+}
+
+// TestConflictMapsTo1213 drives two overlapping optimistic transactions and
+// checks the loser surfaces as MySQL error 1213 / SQLSTATE 40001.
+func TestConflictMapsTo1213(t *testing.T) {
+	env := startServer(t, Config{})
+	a := env.dial(t, "occ")
+	b := env.dial(t, "occ")
+	if err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Exec("UPDATE Root SET RVal = 'a' WHERE RID = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Exec("UPDATE Root SET RVal = 'b' WHERE RID = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Commit()
+	var me *MySQLError
+	if !errors.As(err, &me) || me.Code != errDeadlock || me.SQLState != "40001" {
+		t.Fatalf("want 1213/40001 conflict, got %v", err)
+	}
+}
+
+// TestConcurrentSessions hammers every backend from concurrent connections
+// on disjoint key ranges; run under -race in CI.
+func TestConcurrentSessions(t *testing.T) {
+	env := startServer(t, Config{})
+	const workers, iters = 8, 5
+	modes := []string{"hier", "mvcc", "occ"}
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		mode := modes[w%len(modes)]
+		base := int64(1000 + 100*w)
+		c := env.dial(t, mode)
+		go func(c *Client, base int64) {
+			done <- func() error {
+				st, err := c.Prepare("INSERT INTO Leaf (LID, L_RID, LVal) VALUES (?, ?, ?)")
+				if err != nil {
+					return err
+				}
+				sel, err := c.Prepare(testSelect)
+				if err != nil {
+					return err
+				}
+				for i := int64(0); i < iters; i++ {
+					if err := c.Begin(); err != nil {
+						return err
+					}
+					val := fmt.Sprintf("cc-%d-%d", base, i)
+					if err := st.Exec(base+i, (base+i)%4+1, val); err != nil {
+						return err
+					}
+					if err := c.Commit(); err != nil {
+						return err
+					}
+					rs, err := sel.Query(val)
+					if err != nil {
+						return err
+					}
+					if len(rs.Rows) != 1 {
+						return fmt.Errorf("want 1 row for %s, got %d", val, len(rs.Rows))
+					}
+				}
+				return nil
+			}()
+		}(c, base)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Unit tests
+
+func TestLencRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 250, 251, 65535, 65536, 1 << 24, 1<<24 + 7, 1 << 40} {
+		b := appendLencInt(nil, v)
+		got, off, err := readLencInt(b, 0)
+		if err != nil || got != v || off != len(b) {
+			t.Fatalf("lenc %d: got %d off %d err %v", v, got, off, err)
+		}
+	}
+}
+
+func TestParseDSN(t *testing.T) {
+	d, err := parseDSN("app@inproc(bench)/synergy?mode=occ&reads=watermark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dsn{user: "app", network: "inproc", addr: "bench", db: "synergy", mode: "occ", reads: "watermark"}
+	if d != want {
+		t.Fatalf("dsn %+v, want %+v", d, want)
+	}
+	d, err = parseDSN("tcp(localhost:3306)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.user != "synergy" || d.network != "tcp" || d.addr != "localhost:3306" || d.db != "" {
+		t.Fatalf("dsn %+v", d)
+	}
+	if _, err := parseDSN("no-parens"); err == nil {
+		t.Fatal("bad DSN accepted")
+	}
+	if _, err := parseDSN("inproc(x)?bogus=1"); err == nil {
+		t.Fatal("unknown param accepted")
+	}
+}
+
+func TestGateBounds(t *testing.T) {
+	g := NewGate(2, 1)
+	if q, err := g.Acquire(); err != nil || q {
+		t.Fatalf("first acquire queued=%v err=%v", q, err)
+	}
+	if q, err := g.Acquire(); err != nil || q {
+		t.Fatalf("second acquire queued=%v err=%v", q, err)
+	}
+	queued := make(chan struct{})
+	go func() {
+		if q, err := g.Acquire(); err != nil || !q {
+			panic(fmt.Sprintf("queued acquire queued=%v err=%v", q, err))
+		}
+		close(queued)
+	}()
+	waitFor(t, "waiter", func() bool { return g.Waiting() == 1 })
+	if _, err := g.Acquire(); !errors.Is(err, ErrServerBusy) {
+		t.Fatalf("want ErrServerBusy, got %v", err)
+	}
+	g.Release()
+	<-queued
+}
+
+func TestResultSetColumnTypes(t *testing.T) {
+	rs := &phoenix.ResultSet{
+		Columns: []string{"a", "b", "c", "d"},
+		Rows: []schema.Row{
+			{"a": nil, "b": int64(1), "c": 1.5, "d": nil},
+			{"a": "x", "b": int64(2), "c": 2.5, "d": nil},
+		},
+	}
+	got := rs.ColumnTypes()
+	want := []schema.ColType{schema.TString, schema.TInt, schema.TFloat, schema.TString}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ColumnTypes %v, want %v", got, want)
+	}
+}

@@ -176,6 +176,18 @@ type Costs struct {
 	// updating hbase:meta — charged to the balancer's context, not to client
 	// requests (in-flight operations drain against the old assignment).
 	RegionMove Micros
+
+	// WireConnect is the one-time cost of admitting one client connection
+	// at the SQL wire listener: TCP accept, the handshake exchange and
+	// session setup. Charged to the session's context at connect.
+	WireConnect Micros
+	// WirePacket is the fixed framing cost of one wire-protocol command
+	// exchange (request decode + response encode + two packet headers),
+	// charged once per client command.
+	WirePacket Micros
+	// WirePerByte is the transfer cost per response payload byte shipped
+	// from the server to the client (result-set encoding dominates it).
+	WirePerByte PerByteCost
 }
 
 // LockBackoff returns the simulated wait before retry number attempt
@@ -259,5 +271,9 @@ func DefaultCosts() *Costs {
 		WatermarkWait:   FromMillis(0.25),
 
 		RegionMove: FromMillis(25),
+
+		WireConnect: FromMillis(0.5),
+		WirePacket:  Micros(30),
+		WirePerByte: 2, // 0.002 µs/byte ≈ 500 MB/s
 	}
 }

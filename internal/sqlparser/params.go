@@ -1,0 +1,48 @@
+package sqlparser
+
+// CountParams returns the number of ? placeholders a statement binds — the
+// parameter count a prepared-statement server must advertise. Placeholders
+// are numbered left to right by the parser, so the count is the highest
+// Param index plus one.
+func CountParams(stmt Statement) int {
+	max := -1
+	expr := func(e Expr) {
+		if p, ok := e.(Param); ok && p.Index > max {
+			max = p.Index
+		}
+	}
+	preds := func(ps []Predicate) {
+		for _, p := range ps {
+			expr(p.Left)
+			expr(p.Right)
+		}
+	}
+	var sel func(s *SelectStmt)
+	sel = func(s *SelectStmt) {
+		for _, it := range s.Items {
+			expr(it.Expr)
+		}
+		for _, f := range s.From {
+			if f.Sub != nil {
+				sel(f.Sub)
+			}
+		}
+		preds(s.Where)
+	}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		sel(s)
+	case *InsertStmt:
+		for _, v := range s.Values {
+			expr(v)
+		}
+	case *UpdateStmt:
+		for _, a := range s.Set {
+			expr(a.Value)
+		}
+		preds(s.Where)
+	case *DeleteStmt:
+		preds(s.Where)
+	}
+	return max + 1
+}

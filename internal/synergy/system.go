@@ -442,8 +442,19 @@ func (sys *System) maintModeFor(view string) MaintenanceMode {
 
 // SetAsyncReadMode switches how reads treat asynchronously maintained views
 // (the bench harness flips one system between ReadStale probes and
-// ReadWatermark barriers). Not safe to call concurrently with queries.
+// ReadWatermark barriers). Not safe to call concurrently with queries —
+// concurrent callers with different needs use QueryWithReads instead.
 func (sys *System) SetAsyncReadMode(m ViewReadMode) { sys.cfg.AsyncReads = m }
+
+// Concurrency reports the deployment's concurrency control mechanism. The
+// mode is baked in at construction (it decides which transaction tier
+// exists), so a serving layer fronting several modes holds one System per
+// mode and routes by this.
+func (sys *System) Concurrency() ConcurrencyMode { return sys.cfg.Concurrency }
+
+// DefaultReadMode reports the configured read behavior against
+// asynchronously maintained views.
+func (sys *System) DefaultReadMode() ViewReadMode { return sys.cfg.AsyncReads }
 
 // asyncViewsIn lists the asynchronously maintained views a (rewritten)
 // query reads, including inside derived tables.
@@ -480,8 +491,8 @@ func (sys *System) asyncViewsIn(stmt *sqlparser.SelectStmt) []string {
 // staleObserver returns the OnViewScan hook of a ReadStale query: it records
 // (once per view per query) how far behind the reader's snapshot an
 // async-maintained view lags. Nil when there is nothing to observe.
-func (sys *System) staleObserver(readTS int64) func(*sim.Ctx, string) error {
-	if sys.Feed == nil || sys.cfg.AsyncReads != ReadStale {
+func (sys *System) staleObserver(readTS int64, reads ViewReadMode) func(*sim.Ctx, string) error {
+	if sys.Feed == nil || reads != ReadStale {
 		return nil
 	}
 	seen := map[string]bool{}
@@ -512,8 +523,17 @@ func (sys *System) staleObserver(readTS int64) func(*sim.Ctx, string) error {
 // async view it touches covers the read's arrival point. In ReadStale mode
 // the query runs immediately and records the observed lag per view.
 func (sys *System) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (*phoenix.ResultSet, error) {
+	return sys.QueryWithReads(ctx, sel, params, sys.cfg.AsyncReads)
+}
+
+// QueryWithReads is Query with an explicit freshness contract for the async
+// views the query touches, overriding the configured default for this call
+// only. Serving-layer sessions thread their per-session `SET synergy_reads`
+// choice through it, so concurrent sessions with different contracts never
+// race on the system-wide default.
+func (sys *System) QueryWithReads(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value, reads ViewReadMode) (*phoenix.ResultSet, error) {
 	stmt := sys.rewriteFor(sel)
-	if sys.Feed != nil && sys.cfg.AsyncReads == ReadWatermark {
+	if sys.Feed != nil && reads == ReadWatermark {
 		arrival := sys.Store.CurrentTS()
 		for _, v := range sys.asyncViewsIn(stmt) {
 			sys.Feed.WaitWatermark(ctx, v, arrival)
@@ -522,7 +542,7 @@ func (sys *System) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schem
 	switch sys.cfg.Concurrency {
 	case MVCC:
 		tx := sys.MVCCServer.Begin(ctx)
-		rs, err := sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: tx.ReadOpts(), OnViewScan: sys.staleObserver(tx.ID())})
+		rs, err := sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: tx.ReadOpts(), OnViewScan: sys.staleObserver(tx.ID(), reads)})
 		if err != nil {
 			sys.MVCCServer.Abort(ctx, tx)
 			return nil, err
@@ -533,9 +553,9 @@ func (sys *System) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schem
 		return rs, nil
 	case OCC:
 		snap := sys.OCC.SnapshotTS(ctx)
-		return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: hbase.SnapshotRead(snap), OnViewScan: sys.staleObserver(snap)})
+		return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: hbase.SnapshotRead(snap), OnViewScan: sys.staleObserver(snap, reads)})
 	}
-	return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{DirtyCheck: true, OnViewScan: sys.staleObserver(sys.Store.CurrentTS())})
+	return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{DirtyCheck: true, OnViewScan: sys.staleObserver(sys.Store.CurrentTS(), reads)})
 }
 
 // Exec executes a write statement: through the Synergy transaction layer

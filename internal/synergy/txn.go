@@ -253,21 +253,75 @@ func (l *TxnLayer) Submit(ctx *sim.Ctx, stmt sqlparser.Statement, params []schem
 // SubmitTxn routes a multi-statement write transaction to a live slave
 // (round-robin).
 func (l *TxnLayer) SubmitTxn(ctx *sim.Ctx, stmts []sqlparser.Statement, paramsList [][]schema.Value) error {
-	l.mu.Lock()
-	var chosen *Slave
-	for range l.slaves {
-		s := l.slaves[l.next%len(l.slaves)]
-		l.next++
-		if s.Alive() {
-			chosen = s
-			break
-		}
-	}
-	l.mu.Unlock()
+	chosen := l.pickSlave()
 	if chosen == nil {
 		return ErrNoSlaves
 	}
 	return chosen.ExecuteTxn(ctx, stmts, paramsList)
+}
+
+// pickSlave returns the next live slave round-robin, or nil when none.
+func (l *TxnLayer) pickSlave() *Slave {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for range l.slaves {
+		s := l.slaves[l.next%len(l.slaves)]
+		l.next++
+		if s.Alive() {
+			return s
+		}
+	}
+	return nil
+}
+
+// LogCommitted records an interactively driven transaction in a slave's WAL
+// after it committed: every statement record plus the commit record travel
+// in one append under a fresh transaction id. An interactive session (the
+// SQL wire server) executes statements as the client sends them, so unlike
+// SubmitTxn there is never an accepted-but-unexecuted transaction for
+// recovery to replay — the log is written at commit, binlog-style, and
+// recovery always finds the transaction finished. A rolled-back interactive
+// transaction logs nothing: its buffered writes never reached the store.
+func (l *TxnLayer) LogCommitted(ctx *sim.Ctx, stmts []sqlparser.Statement, paramsList [][]schema.Value) error {
+	if len(stmts) != len(paramsList) {
+		return fmt.Errorf("synergy: %d statements, %d parameter lists", len(stmts), len(paramsList))
+	}
+	chosen := l.pickSlave()
+	if chosen == nil {
+		return ErrNoSlaves
+	}
+	return chosen.logCommitted(ctx, stmts, paramsList)
+}
+
+// logCommitted appends a whole committed transaction — statements and commit
+// record — as one WAL append.
+func (s *Slave) logCommitted(ctx *sim.Ctx, stmts []sqlparser.Statement, paramsList [][]schema.Value) error {
+	if !s.alive.Load() {
+		return fmt.Errorf("%w: %s is down", ErrNoSlaves, s.ID)
+	}
+	sys := s.layer.sys
+	ctx.Charge(sys.Cluster.Costs().TxnLayerHop)
+	txid := s.seq.Add(1)
+	var log []byte
+	for i, stmt := range stmts {
+		ps, err := encodeParams(paramsList[i])
+		if err != nil {
+			return err
+		}
+		rec, err := json.Marshal(walRecord{TxID: txid, SQL: stmt.String(), Params: ps})
+		if err != nil {
+			return err
+		}
+		log = append(log, rec...)
+		log = append(log, '\n')
+	}
+	rec, _ := json.Marshal(walRecord{TxID: txid, Commit: true})
+	log = append(log, rec...)
+	log = append(log, '\n')
+	s.walMu.Lock()
+	err := sys.FS.Append(ctx, s.walPath, log)
+	s.walMu.Unlock()
+	return err
 }
 
 // DetectAndRecover is the master's failure-detection pass (§VIII): it

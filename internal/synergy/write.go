@@ -243,6 +243,66 @@ func (tx *Tx) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value
 	return tx.sys.executeWriteBody(ctx, tx, stmt, params)
 }
 
+// Query runs a SELECT inside the transaction at the configured freshness
+// default. See QueryWithReads.
+func (tx *Tx) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (*phoenix.ResultSet, error) {
+	return tx.QueryWithReads(ctx, sel, params, tx.sys.cfg.AsyncReads)
+}
+
+// QueryWithReads runs a SELECT inside the transaction with an explicit
+// freshness contract. The query runs its view-based rewrite, and reads see
+// the transaction's own buffered writes: under hierarchical locking the
+// mutator overlay merges over latest-committed rows (with the §VIII-C
+// dirty-restart protocol guarding view scans), under MVCC the overlay merges
+// over the transaction's snapshot at its current checkpoint, and under OCC
+// the query runs through the tracking reader — its ranges and keys join the
+// read set, so commit-time validation covers what the transaction saw, not
+// just what it wrote.
+//
+// The ReadWatermark gate waits to the transaction's read point rather than
+// the arrival clock: an in-flight MVCC/OCC transaction cannot move its
+// snapshot forward, so deltas applied beyond it would be invisible anyway —
+// waiting past the snapshot would charge the reader for freshness it cannot
+// observe.
+func (tx *Tx) QueryWithReads(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value, reads ViewReadMode) (*phoenix.ResultSet, error) {
+	if tx.done {
+		return nil, fmt.Errorf("synergy: transaction already finished")
+	}
+	sys := tx.sys
+	stmt := sys.rewriteFor(sel)
+	var readTS int64
+	switch {
+	case tx.mvccTx != nil:
+		readTS = tx.mvccTx.ID()
+	case tx.occTx != nil:
+		readTS = tx.occTx.Snapshot()
+	default:
+		readTS = sys.Store.CurrentTS()
+	}
+	if sys.Feed != nil && reads == ReadWatermark {
+		for _, v := range sys.asyncViewsIn(stmt) {
+			sys.Feed.WaitWatermark(ctx, v, readTS)
+		}
+	}
+	opts := phoenix.QueryOpts{OnViewScan: sys.staleObserver(readTS, reads)}
+	switch {
+	case tx.occTx != nil:
+		opts.Read = tx.occTx.ReadOpts()
+		opts.Reader = tx.opts.Reader
+	case tx.mvccTx != nil:
+		opts.Read = tx.opts.Read // checkpoint-current snapshot
+		if tx.mutator != nil {
+			opts.View = tx.mutator.View()
+		}
+	default:
+		opts.DirtyCheck = true
+		if tx.mutator != nil {
+			opts.View = tx.mutator.View()
+		}
+	}
+	return sys.Engine.QueryOpts(ctx, stmt, params, opts)
+}
+
 // Commit flushes every buffered mutation as one region-grouped batch round,
 // finishes the MVCC transaction when present, and releases the held locks —
 // writes become visible before the locks free, preserving the §VIII
