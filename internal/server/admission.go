@@ -32,7 +32,7 @@ func NewGate(slots, queue int) *Gate {
 	if slots <= 0 {
 		slots = 8
 	}
-	if queue < 0 {
+	if queue <= 0 {
 		queue = 16
 	}
 	g := &Gate{slots: make(chan struct{}, slots), maxQueue: int64(queue)}

@@ -258,8 +258,12 @@ func (s *Server) serveConn(nc net.Conn) {
 	defer func() {
 		// A vanished client must not leave locks held or snapshots pinned:
 		// teardown rolls back whatever transaction is open and frees every
-		// prepared statement.
-		c.sess.Close(c.sctx)
+		// prepared statement. The session only exists once the handshake
+		// picked a backend; a client that drops out earlier has nothing to
+		// roll back.
+		if c.sess != nil {
+			c.sess.Close(c.sctx)
+		}
 		c.stmts = nil
 		s.mu.Lock()
 		delete(s.conns, c)
@@ -537,7 +541,7 @@ func (c *conn) execStatement(stmt sqlparser.Statement, params []schema.Value, bi
 		if err != nil {
 			return c.writeEngineErr(err)
 		}
-		return c.writeResultSet(rs, binaryRows)
+		return c.writeResultSet(rs, binaryRows, true)
 	}
 	if err := c.sess.Exec(c.sctx, stmt, params); err != nil {
 		return c.writeEngineErr(err)
@@ -546,8 +550,10 @@ func (c *conn) execStatement(stmt sqlparser.Statement, params []schema.Value, bi
 }
 
 // writeResultSet encodes rs as a protocol-41 result set (text or binary
-// rows), charging the per-byte transfer cost for the whole response.
-func (c *conn) writeResultSet(rs *phoenix.ResultSet, binaryRows bool) error {
+// rows), charging the per-byte transfer cost for the whole response when
+// charged is set. Sysvar introspection passes charged=false so its replies
+// stay cost-free by construction, not by rounding.
+func (c *conn) writeResultSet(rs *phoenix.ResultSet, binaryRows, charged bool) error {
 	types := make([]byte, len(rs.Columns))
 	for i, t := range rs.ColumnTypes() {
 		types[i] = wireTypeOf(t)
@@ -566,11 +572,13 @@ func (c *conn) writeResultSet(rs *phoenix.ResultSet, binaryRows bool) error {
 		}
 	}
 	pkts = append(pkts, appendEOF(nil, c.status()))
-	total := 0
-	for _, p := range pkts {
-		total += len(p) + 4
+	if charged {
+		total := 0
+		for _, p := range pkts {
+			total += len(p) + 4
+		}
+		c.sctx.Charge(c.srv.costs.WirePerByte.Mul(total))
 	}
-	c.sctx.Charge(c.srv.costs.WirePerByte.Mul(total))
 	for _, p := range pkts {
 		if err := c.pc.writePacket(p); err != nil {
 			return err
@@ -680,7 +688,7 @@ func (c *conn) handleSysVar(rest string) error {
 	}
 	col := "@@" + name
 	rs := &phoenix.ResultSet{Columns: []string{col}, Rows: []schema.Row{{col: v}}}
-	return c.writeResultSet(rs, false)
+	return c.writeResultSet(rs, false, false)
 }
 
 // --------------------------------------------------------------------------

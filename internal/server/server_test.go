@@ -1,8 +1,10 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"testing"
@@ -729,5 +731,128 @@ func TestResultSetColumnTypes(t *testing.T) {
 	want := []schema.ColType{schema.TString, schema.TInt, schema.TFloat, schema.TString}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("ColumnTypes %v, want %v", got, want)
+	}
+}
+
+// TestMidHandshakeDisconnect reads the greeting and drops the connection
+// before answering; the server must tear the half-connected client down
+// without a session to close (regression: the deferred teardown used to call
+// Close on a nil Session and panic the process) and keep serving.
+func TestMidHandshakeDisconnect(t *testing.T) {
+	env := startServer(t, Config{})
+
+	// Health-check-probe shape: connect, read the greeting, hang up.
+	nc, err := DialInproc(env.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := newPacketConn(nc)
+	if _, err := pc.readPacket(); err != nil {
+		t.Fatalf("greeting: %v", err)
+	}
+	nc.Close()
+
+	// Malformed-response shape: the handshake parser must error out, not the
+	// teardown.
+	nc2, err := DialInproc(env.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc2 := newPacketConn(nc2)
+	if _, err := pc2.readPacket(); err != nil {
+		t.Fatalf("greeting: %v", err)
+	}
+	if err := pc2.writePacket([]byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc2.flush(); err != nil {
+		t.Fatal(err)
+	}
+	nc2.Close()
+
+	waitFor(t, "half-open conns to drain", func() bool {
+		return env.srv.Stats().LiveConns == 0
+	})
+
+	// The server survived both: a real client still gets full service.
+	c := env.dial(t, "hier")
+	rs, err := c.Query("SELECT * FROM Root as r, Leaf as l WHERE r.RID = l.L_RID and l.LVal = 'l1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("post-disconnect query saw %d rows, want 1", len(rs.Rows))
+	}
+}
+
+// TestGateZeroConfigDefaults: a zero Config must yield the documented
+// defaults (8 slots, 16 queued), not a no-queue gate that fast-fails the
+// ninth concurrent statement.
+func TestGateZeroConfigDefaults(t *testing.T) {
+	g := NewGate(0, 0)
+	for i := 0; i < 8; i++ {
+		if !g.TryAcquire() {
+			t.Fatalf("slot %d not free, want 8 default slots", i)
+		}
+	}
+	if g.TryAcquire() {
+		t.Fatal("ninth slot free, want exactly 8 default slots")
+	}
+	queued := make(chan struct{})
+	go func() {
+		if q, err := g.Acquire(); err != nil || !q {
+			panic(fmt.Sprintf("overflow acquire queued=%v err=%v", q, err))
+		}
+		close(queued)
+	}()
+	waitFor(t, "waiter", func() bool { return g.Waiting() == 1 })
+	g.Release()
+	<-queued
+}
+
+// TestDecodeUnsignedLonglongOverflow: an unsigned BIGINT above MaxInt64 must
+// be refused, not silently wrapped to a negative int64.
+func TestDecodeUnsignedLonglongOverflow(t *testing.T) {
+	buf := binary.LittleEndian.AppendUint64(nil, math.MaxInt64+1)
+	if _, _, err := decodeBinaryValue(buf, 0, typeLonglong, true); err == nil {
+		t.Fatal("want out-of-range error for unsigned BIGINT > MaxInt64")
+	}
+	// MaxInt64 itself still decodes, signed interpretation is untouched.
+	buf = binary.LittleEndian.AppendUint64(nil, math.MaxInt64)
+	v, _, err := decodeBinaryValue(buf, 0, typeLonglong, true)
+	if err != nil || v != int64(math.MaxInt64) {
+		t.Fatalf("MaxInt64 decode = %v, %v", v, err)
+	}
+	buf = binary.LittleEndian.AppendUint64(nil, math.MaxUint64) // -1 signed
+	v, _, err = decodeBinaryValue(buf, 0, typeLonglong, false)
+	if err != nil || v != int64(-1) {
+		t.Fatalf("signed -1 decode = %v, %v", v, err)
+	}
+}
+
+// TestSysVarUncosted: @@var introspection must charge zero simulated cost by
+// construction, independent of response size or per-byte rate.
+func TestSysVarUncosted(t *testing.T) {
+	env := startServer(t, Config{})
+	c := env.dial(t, "hier")
+	rs, err := c.Query("SELECT @@synergy_sim_micros")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := rs.Rows[0]["@@synergy_sim_micros"].(int64)
+	rs, err = c.Query("SELECT @@version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0]["@@version"] == nil {
+		t.Fatal("no @@version row")
+	}
+	rs, err = c.Query("SELECT @@synergy_sim_micros")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := rs.Rows[0]["@@synergy_sim_micros"].(int64)
+	if after != before {
+		t.Fatalf("sysvar reads charged %d simulated micros, want 0", after-before)
 	}
 }

@@ -242,7 +242,13 @@ func decodeBinaryValue(b []byte, off int, wireType byte, unsigned bool) (schema.
 		if err := need(8); err != nil {
 			return nil, 0, err
 		}
-		return int64(binary.LittleEndian.Uint64(b[off:])), off + 8, nil
+		u := binary.LittleEndian.Uint64(b[off:])
+		if unsigned && u > math.MaxInt64 {
+			// schema.Value carries integers as int64; refuse rather than
+			// silently wrap to a negative parameter.
+			return nil, 0, fmt.Errorf("server: unsigned BIGINT parameter %d out of range (max %d)", u, int64(math.MaxInt64))
+		}
+		return int64(u), off + 8, nil
 	case typeFloat:
 		if err := need(4); err != nil {
 			return nil, 0, err
