@@ -31,16 +31,31 @@ func (s *Session) Server() *Server { return s.srv }
 
 // Query runs a SELECT inside a snapshot transaction.
 func (s *Session) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (*phoenix.ResultSet, error) {
+	cur, err := s.QueryStream(ctx, sel, params)
+	if err != nil {
+		return nil, err
+	}
+	return phoenix.DrainCursor(ctx, cur)
+}
+
+// QueryStream runs a SELECT inside a snapshot transaction, returning a
+// cursor. The transaction stays open for the cursor's lifetime and is
+// settled by Close: committed after a clean drain, aborted if the cursor
+// saw an error. The caller must Close the cursor and check its error.
+func (s *Session) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error) {
 	tx := s.srv.Begin(ctx)
-	rs, err := s.eng.QueryOpts(ctx, sel, params, phoenix.QueryOpts{Read: tx.ReadOpts()})
+	cur, err := s.eng.QueryStreamOpts(ctx, sel, params, phoenix.QueryOpts{Read: tx.ReadOpts()})
 	if err != nil {
 		s.srv.Abort(ctx, tx)
 		return nil, err
 	}
-	if cerr := s.srv.Commit(ctx, tx); cerr != nil {
-		return nil, cerr
-	}
-	return rs, nil
+	return phoenix.WithClose(cur, func(ctx *sim.Ctx, inner phoenix.RowCursor) error {
+		if inner.Err() != nil {
+			s.srv.Abort(ctx, tx)
+			return nil
+		}
+		return s.srv.Commit(ctx, tx)
+	}), nil
 }
 
 // Exec runs a write statement inside a transaction; on conflict the error is
@@ -115,6 +130,17 @@ func (t *SessionTx) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []sche
 		return nil, ErrFinishedTxn
 	}
 	return t.sess.eng.QueryOpts(ctx, sel, params, phoenix.QueryOpts{Read: t.tx.ReadOpts(), View: t.mut.View()})
+}
+
+// QueryStream is Query returning a cursor. The cursor reads through the
+// transaction's snapshot and write overlay but holds no transaction state:
+// Close only releases the scanner. It must be closed before the next
+// statement runs (the next Exec advances the transaction's checkpoint).
+func (t *SessionTx) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error) {
+	if t.done {
+		return nil, ErrFinishedTxn
+	}
+	return t.sess.eng.QueryStreamOpts(ctx, sel, params, phoenix.QueryOpts{Read: t.tx.ReadOpts(), View: t.mut.View()})
 }
 
 // Commit flushes the buffered writes as one batch round, then finishes the

@@ -34,6 +34,13 @@ func (s *Session) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema
 	return s.eng.QueryOpts(ctx, sel, params, phoenix.QueryOpts{Read: hbase.SnapshotRead(s.v.SnapshotTS(ctx))})
 }
 
+// QueryStream is Query returning a streaming cursor. Snapshot reads carry no
+// transaction state, so Close only releases the region scanner; the begin
+// timestamp pins visibility for the cursor's whole lifetime.
+func (s *Session) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error) {
+	return s.eng.QueryStreamOpts(ctx, sel, params, phoenix.QueryOpts{Read: hbase.SnapshotRead(s.v.SnapshotTS(ctx))})
+}
+
 // Exec runs one write statement as its own optimistic transaction. A
 // validation conflict surfaces as ErrConflict; the caller owns the retry
 // policy (the synergy transaction layer retries with bounded backoff).
@@ -95,6 +102,17 @@ func (t *SessionTx) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []sche
 		return nil, ErrFinished
 	}
 	return t.sess.eng.QueryOpts(ctx, sel, params, phoenix.QueryOpts{Read: t.tx.ReadOpts(), Reader: t.rd})
+}
+
+// QueryStream is Query returning a cursor: rows stream off the tracking
+// reader, so the scanned ranges still join the read set at open time. The
+// cursor holds no transaction state — Close only releases the scanner, and
+// the transaction outlives the cursor.
+func (t *SessionTx) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error) {
+	if t.done {
+		return nil, ErrFinished
+	}
+	return t.sess.eng.QueryStreamOpts(ctx, sel, params, phoenix.QueryOpts{Read: t.tx.ReadOpts(), Reader: t.rd})
 }
 
 // Commit validates backward and, on success, flushes the buffered writes as

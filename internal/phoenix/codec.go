@@ -88,6 +88,48 @@ func CellsToRow(res hbase.RowResult) schema.Row {
 	return row
 }
 
+// CellKind classifies an encoded cell value by its type tag, letting wire
+// encoders branch on the stored type without decoding (and, for strings,
+// without allocating).
+type CellKind byte
+
+// Cell kinds. CellNull covers empty (absent) values.
+const (
+	CellNull   CellKind = 0
+	CellInt    CellKind = tagInt
+	CellFloat  CellKind = tagFloat
+	CellString CellKind = tagString
+)
+
+// RawCellKind reports the kind of an encoded cell value.
+func RawCellKind(b []byte) CellKind {
+	if len(b) == 0 {
+		return CellNull
+	}
+	switch b[0] {
+	case tagInt:
+		return CellInt
+	case tagFloat:
+		return CellFloat
+	case tagString:
+		return CellString
+	default:
+		return CellNull
+	}
+}
+
+// RawCellInt decodes an int-tagged cell value. Callers must have checked
+// RawCellKind.
+func RawCellInt(b []byte) int64 { return int64(binary.BigEndian.Uint64(b[1:])) }
+
+// RawCellFloat decodes a float-tagged cell value. Callers must have checked
+// RawCellKind.
+func RawCellFloat(b []byte) float64 { return math.Float64frombits(binary.BigEndian.Uint64(b[1:])) }
+
+// RawCellBytes returns a string-tagged cell value's payload without copying.
+// The bytes are store-owned and immutable; callers must not modify them.
+func RawCellBytes(b []byte) []byte { return b[1:] }
+
 // IsDirty reports whether a stored row carries the Synergy dirty marker.
 func IsDirty(res hbase.RowResult) bool {
 	v := res.Cells.Get(DirtyQualifier)

@@ -1,0 +1,424 @@
+package phoenix
+
+import (
+	"synergy/internal/hbase"
+	"synergy/internal/schema"
+	"synergy/internal/sim"
+	"synergy/internal/sqlparser"
+)
+
+// RowCursor is the streaming result of a query: a forward-only iterator over
+// projected rows. Next advances to the next row; Row returns the current
+// row, valid only until the next Next or Close call (the cursor reuses one
+// map). Callers that retain a row must copy it. Close releases the
+// underlying region scanner and must always be called, even after Next
+// returned false — a caller abandoning a cursor mid-stream would otherwise
+// leak pooled scan jobs and chunk buffers.
+type RowCursor interface {
+	// Columns lists the output column names in projection order.
+	Columns() []string
+	// Types lists the declared column types, parallel to Columns. For
+	// streamed table scans these come from the catalog; the materialized
+	// path types by value inspection, which can differ for an all-NULL
+	// column (TString there, the declared type here).
+	Types() []schema.ColType
+	// Next advances to the next row, charging the scan work performed to
+	// ctx. It returns false when the result is exhausted or an error
+	// occurred (check Err).
+	Next(ctx *sim.Ctx) bool
+	// Row returns the current row. The map is reused: valid only until
+	// the next Next or Close.
+	Row() schema.Row
+	// Err reports the error that terminated iteration, if any.
+	Err() error
+	// Close releases the cursor's resources (region scanner, pooled scan
+	// chunks). It is idempotent. For transactional cursors wrapped with
+	// WithClose it also settles the transaction, so its error must be
+	// checked.
+	Close(ctx *sim.Ctx) error
+}
+
+// RawCursor is implemented by cursors that stream directly off a region
+// scanner and can expose the current row's encoded cell bytes without
+// decoding. RawValue returns the stored cell encoding (type tag + payload)
+// of output column i, or nil when the value is NULL or the column is a
+// literal select item. The returned slice is stable — store cell values are
+// immutable and never recycled — but reflects the current row only until
+// the next Next call. Wire servers use it to encode row packets with zero
+// per-row value allocations.
+type RawCursor interface {
+	RowCursor
+	RawValue(i int) []byte
+}
+
+// ---------------------------------------------------------------------------
+// Streaming cursor: single-binding scan → filter → project → limit, pulled
+// row by row off the region scanner.
+
+type streamCursor struct {
+	stream hbase.RowStream
+	cols   []string
+	quals  []string // source qualifier per output column; "" = literal item
+	types  []schema.ColType
+	raw    [][]byte   // current row's encoded values, parallel to cols
+	row    schema.Row // reused decoded row, filled lazily by Row
+	rowOK  bool
+	limit  int // 0 = unlimited (defensive; the scan spec also carries it)
+	n      int
+	done   bool
+	closed bool
+}
+
+func (c *streamCursor) Columns() []string       { return c.cols }
+func (c *streamCursor) Types() []schema.ColType { return c.types }
+func (c *streamCursor) Err() error              { return nil }
+
+func (c *streamCursor) Next(ctx *sim.Ctx) bool {
+	if c.done || c.closed {
+		return false
+	}
+	if c.limit > 0 && c.n >= c.limit {
+		c.done = true
+		return false
+	}
+	r, ok := c.stream.Next(ctx)
+	if !ok {
+		c.done = true
+		return false
+	}
+	c.n++
+	// Copy out only the projected cell values (slice headers; the bytes
+	// are store-owned and immutable). The Cells window itself is invalid
+	// after the stream's next Next, so nothing else is retained.
+	for i, q := range c.quals {
+		if q == "" {
+			c.raw[i] = nil
+			continue
+		}
+		c.raw[i] = r.Cells.Get(q)
+	}
+	c.rowOK = false
+	return true
+}
+
+func (c *streamCursor) Row() schema.Row {
+	if c.rowOK {
+		return c.row
+	}
+	if c.row == nil {
+		c.row = make(schema.Row, len(c.cols))
+	}
+	for k := range c.row {
+		delete(c.row, k)
+	}
+	for i, col := range c.cols {
+		if c.quals[i] == "" {
+			// Literal select items project no source column; the key
+			// stays absent, matching the materialized buildResult.
+			continue
+		}
+		c.row[col] = DecodeValue(c.raw[i])
+	}
+	c.rowOK = true
+	return c.row
+}
+
+func (c *streamCursor) RawValue(i int) []byte { return c.raw[i] }
+
+func (c *streamCursor) Close(ctx *sim.Ctx) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.stream.Close(ctx)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Materialized cursor: blocking shapes (joins, aggregates, ORDER BY) run the
+// buffering executor and drain through the same API.
+
+type materializedCursor struct {
+	rs     *ResultSet
+	types  []schema.ColType
+	pos    int
+	closed bool
+}
+
+func newMaterializedCursor(rs *ResultSet) *materializedCursor {
+	return &materializedCursor{rs: rs}
+}
+
+func (c *materializedCursor) Columns() []string { return c.rs.Columns }
+
+func (c *materializedCursor) Types() []schema.ColType {
+	if c.types == nil {
+		c.types = c.rs.ColumnTypes()
+	}
+	return c.types
+}
+
+func (c *materializedCursor) Next(ctx *sim.Ctx) bool {
+	if c.closed || c.pos >= len(c.rs.Rows) {
+		return false
+	}
+	c.pos++
+	return true
+}
+
+func (c *materializedCursor) Row() schema.Row          { return c.rs.Rows[c.pos-1] }
+func (c *materializedCursor) Err() error               { return nil }
+func (c *materializedCursor) Close(ctx *sim.Ctx) error { c.closed = true; return nil }
+
+// ---------------------------------------------------------------------------
+// Close hooks: transaction layers wrap cursors so Close settles the
+// transaction (commit on clean drain, abort on error).
+
+type closeHook struct {
+	RowCursor
+	onClose func(ctx *sim.Ctx, cur RowCursor) error
+	closed  bool
+}
+
+func (c *closeHook) Unwrap() RowCursor { return c.RowCursor }
+
+func (c *closeHook) Close(ctx *sim.Ctx) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	err := c.RowCursor.Close(ctx)
+	if herr := c.onClose(ctx, c.RowCursor); err == nil {
+		err = herr
+	}
+	return err
+}
+
+type rawCloseHook struct {
+	closeHook
+	raw RawCursor
+}
+
+func (c *rawCloseHook) RawValue(i int) []byte { return c.raw.RawValue(i) }
+
+// WithClose returns cur with onClose running exactly once after the inner
+// cursor's Close. The wrapper preserves RawCursor-ness, so the wire fast
+// path survives transactional wrapping.
+func WithClose(cur RowCursor, onClose func(ctx *sim.Ctx, cur RowCursor) error) RowCursor {
+	h := closeHook{RowCursor: cur, onClose: onClose}
+	if rc, ok := cur.(RawCursor); ok {
+		return &rawCloseHook{closeHook: h, raw: rc}
+	}
+	return &h
+}
+
+// DrainCursor materializes a cursor into a ResultSet, closing it. It is the
+// bridge that keeps the materialized Query API a thin wrapper over the
+// streaming path: cursors that already hold a full ResultSet are returned
+// as-is, streamed rows are copied out (the cursor's row map is reused).
+func DrainCursor(ctx *sim.Ctx, cur RowCursor) (*ResultSet, error) {
+	inner := cur
+	for {
+		u, ok := inner.(interface{ Unwrap() RowCursor })
+		if !ok {
+			break
+		}
+		inner = u.Unwrap()
+	}
+	if m, ok := inner.(*materializedCursor); ok {
+		if err := cur.Close(ctx); err != nil {
+			return nil, err
+		}
+		return m.rs, nil
+	}
+	cols := cur.Columns()
+	rows := make([]schema.Row, 0)
+	for cur.Next(ctx) {
+		src := cur.Row()
+		row := make(schema.Row, len(src))
+		for k, v := range src {
+			row[k] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := cur.Err(); err != nil {
+		cur.Close(ctx)
+		return nil, err
+	}
+	if err := cur.Close(ctx); err != nil {
+		return nil, err
+	}
+	return &ResultSet{Columns: cols, Rows: rows}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Stream planning
+
+// tryStream opens a streaming cursor when the statement is a non-blocking
+// single-binding shape: scan → filter → project → limit with no joins,
+// aggregates or ORDER BY. ok=false means "not streamable, run the
+// materialized executor" (including shapes buildResult would reject — the
+// fallback reproduces the error); a non-nil error means the stream was
+// eligible but opening it failed.
+func (q *query) tryStream(ctx *sim.Ctx) (RowCursor, bool, error) {
+	sel := q.sel
+	if len(q.bindings) != 1 || len(q.joins) > 0 || len(q.residual) > 0 {
+		return nil, false, nil
+	}
+	b := q.bindings[0]
+	if b.info == nil {
+		return nil, false, nil // derived tables are pre-materialized
+	}
+	if sel.GroupBy != nil || len(sel.OrderBy) > 0 || q.hasAggregates() {
+		return nil, false, nil
+	}
+	if q.opts.DirtyCheck && b.info.IsView {
+		// The §VIII-C dirty-restart loop re-scans from the top; once rows
+		// have been handed out a cursor cannot restart.
+		return nil, false, nil
+	}
+
+	// Resolve the projection. Single binding means every unambiguous
+	// output name is the bare column name, exactly like buildResult.
+	var cols, quals []string
+	var types []schema.ColType
+	if sel.Star {
+		for _, c := range b.cols {
+			t, _ := b.info.Col(c)
+			cols = append(cols, c)
+			quals = append(quals, c)
+			types = append(types, t)
+		}
+	} else {
+		for _, it := range sel.Items {
+			switch x := it.Expr.(type) {
+			case sqlparser.ColumnRef:
+				if _, err := q.resolveColumn(x); err != nil {
+					return nil, false, nil
+				}
+				name := it.Alias
+				if name == "" {
+					name = x.Column
+				}
+				t, _ := b.info.Col(x.Column)
+				cols = append(cols, name)
+				quals = append(quals, x.Column)
+				types = append(types, t)
+			case sqlparser.Literal:
+				cols = append(cols, it.Expr.String())
+				quals = append(quals, "")
+				types = append(types, schema.TString)
+			default:
+				return nil, false, nil
+			}
+		}
+	}
+
+	// Build the scan spec exactly as the materialized scanBinding does,
+	// plus limit pushdown: the scanner stops examining rows once the
+	// post-filter row budget is met.
+	plan := q.chooseAccess(b, nil)
+	spec := hbase.ScanSpec{Read: q.opts.Read}
+	tableName := b.info.Name
+	switch plan.kind {
+	case accessPKPrefix:
+		vals := make([]schema.Value, 0, len(plan.eqCols))
+		for _, c := range plan.eqCols {
+			v, ok := q.localEqValue(b, c)
+			if !ok {
+				return nil, false, nil
+			}
+			vals = append(vals, v)
+		}
+		if len(plan.eqCols) == len(b.info.Key) {
+			spec.Start = schema.EncodeKey(vals...)
+			spec.Stop = spec.Start + "\x00"
+			spec.Sequential = true // single-row point lookup
+		} else {
+			spec.Prefix = schema.KeyPrefix(vals...)
+		}
+	case accessIndexPrefix:
+		tableName = plan.index.Name
+		vals := make([]schema.Value, 0, len(plan.eqCols))
+		for _, c := range plan.eqCols {
+			v, ok := q.localEqValue(b, c)
+			if !ok {
+				return nil, false, nil
+			}
+			vals = append(vals, v)
+		}
+		spec.Prefix = schema.KeyPrefix(vals...)
+		if len(plan.eqCols) == len(plan.index.On)+len(b.info.Key) {
+			spec.Prefix = ""
+			spec.Start = schema.EncodeKey(vals...)
+			spec.Stop = spec.Start + "\x00"
+			spec.Sequential = true // single-row point lookup
+		}
+	}
+	if sel.Limit > 0 {
+		spec.Limit = sel.Limit
+	}
+
+	// No local predicates → no filter, matching scanBinding: the region
+	// skips the per-row decode an accept-all closure would pay.
+	if local := q.local[b.name]; len(local) > 0 {
+		spec.Filter = func(r hbase.RowResult) bool {
+			row := CellsToRow(r)
+			for _, p := range local {
+				if !p.evalLocal(row) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	if b.info.IsView && q.opts.OnViewScan != nil {
+		if err := q.opts.OnViewScan(ctx, b.info.Name); err != nil {
+			return nil, true, err
+		}
+	}
+	sc, err := q.openScan(ctx, tableName, spec)
+	if err != nil {
+		return nil, true, err
+	}
+	return &streamCursor{
+		stream: sc,
+		cols:   cols,
+		quals:  quals,
+		types:  types,
+		raw:    make([][]byte, len(cols)),
+		limit:  sel.Limit,
+	}, true, nil
+}
+
+// QueryStream plans and executes a SELECT, returning its rows as a cursor.
+// Non-blocking single-table shapes stream directly off the region scanner —
+// peak memory is one scan chunk, not the result — while blocking shapes
+// (joins, GROUP BY/aggregates, ORDER BY) materialize internally and drain
+// through the same API. The caller must Close the cursor.
+func (e *Engine) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (RowCursor, error) {
+	return e.QueryStreamOpts(ctx, sel, params, QueryOpts{})
+}
+
+// QueryStreamOpts is QueryStream with explicit execution options.
+func (e *Engine) QueryStreamOpts(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value, opts QueryOpts) (RowCursor, error) {
+	q, err := e.analyzeStmt(ctx, sel, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cur, ok, err := q.tryStream(ctx); err != nil {
+		return nil, err
+	} else if ok {
+		return cur, nil
+	}
+	tuples, err := q.run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := q.project(ctx, tuples)
+	if err != nil {
+		return nil, err
+	}
+	return newMaterializedCursor(rs), nil
+}

@@ -107,17 +107,16 @@ func (e *Engine) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.
 	return e.QueryOpts(ctx, sel, params, QueryOpts{})
 }
 
-// QueryOpts is Query with explicit execution options.
+// QueryOpts is Query with explicit execution options. It is a thin wrapper
+// over the streaming path: QueryStreamOpts plans the statement, and the
+// cursor is drained into a ResultSet (a no-op for blocking shapes, which
+// materialize anyway).
 func (e *Engine) QueryOpts(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value, opts QueryOpts) (*ResultSet, error) {
-	q, err := e.analyzeStmt(ctx, sel, params, opts)
+	cur, err := e.QueryStreamOpts(ctx, sel, params, opts)
 	if err != nil {
 		return nil, err
 	}
-	tuples, err := q.run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return q.project(ctx, tuples)
+	return DrainCursor(ctx, cur)
 }
 
 // ---------------------------------------------------------------------------

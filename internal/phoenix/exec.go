@@ -184,15 +184,19 @@ func (q *query) scanBinding(ctx *sim.Ctx, b *binding, plan accessPlan) ([]tuple,
 	// Full table and index-range scans scatter-gather across regions
 	// (Phoenix intra-query parallelism); point lookups above opt out.
 
-	local := q.local[b.name]
-	spec.Filter = func(r hbase.RowResult) bool {
-		row := CellsToRow(r)
-		for _, p := range local {
-			if !p.evalLocal(row) {
-				return false
+	// A scan with no local predicates ships no filter at all: the region
+	// returns every visible row without the per-row decode an accept-all
+	// closure would pay.
+	if local := q.local[b.name]; len(local) > 0 {
+		spec.Filter = func(r hbase.RowResult) bool {
+			row := CellsToRow(r)
+			for _, p := range local {
+				if !p.evalLocal(row) {
+					return false
+				}
 			}
+			return true
 		}
-		return true
 	}
 
 	if b.info.IsView && q.opts.OnViewScan != nil {
@@ -475,14 +479,16 @@ func (q *query) indexNestedLoop(ctx *sim.Ctx, outer []tuple, b *binding, plan ac
 			spec.Start = schema.EncodeKey(vals...)
 			spec.Stop = spec.Start + "\x00"
 		}
-		spec.Filter = func(r hbase.RowResult) bool {
-			row := CellsToRow(r)
-			for _, p := range local {
-				if !p.evalLocal(row) {
-					return false
+		if len(local) > 0 {
+			spec.Filter = func(r hbase.RowResult) bool {
+				row := CellsToRow(r)
+				for _, p := range local {
+					if !p.evalLocal(row) {
+						return false
+					}
 				}
+				return true
 			}
-			return true
 		}
 		sc, err := q.openScan(ctx, tableName, spec)
 		if err != nil {

@@ -156,6 +156,24 @@ func (c *Client) Query(sql string) (*phoenix.ResultSet, error) {
 	return rs, nil
 }
 
+// QueryStream runs a SELECT over the text protocol, returning the rows as an
+// incremental reader: each Next consumes one row packet off the wire into a
+// reused buffer, so client memory stays constant in the result size and the
+// first row is available before the server finished its scan.
+func (c *Client) QueryStream(sql string) (*ClientRows, error) {
+	if err := c.command(append([]byte{comQuery}, sql...)); err != nil {
+		return nil, err
+	}
+	rows, _, err := c.readResponse(false)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, fmt.Errorf("server: statement returned no result set")
+	}
+	return rows, nil
+}
+
 // SysVar reads one @@ system variable.
 func (c *Client) SysVar(name string) (schema.Value, error) {
 	rs, err := c.Query("SELECT @@" + name)
@@ -307,6 +325,22 @@ func (s *ClientStmt) Query(args ...schema.Value) (*phoenix.ResultSet, error) {
 	return rs, nil
 }
 
+// QueryStream runs the prepared statement, reading the binary result set
+// incrementally (see Client.QueryStream).
+func (s *ClientStmt) QueryStream(args ...schema.Value) (*ClientRows, error) {
+	if err := s.execute(args); err != nil {
+		return nil, err
+	}
+	rows, _, err := s.c.readResponse(true)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		return nil, fmt.Errorf("server: statement returned no result set")
+	}
+	return rows, nil
+}
+
 // Close frees the server-side statement (COM_STMT_CLOSE, no response).
 func (s *ClientStmt) Close() error {
 	if s.closed {
@@ -337,9 +371,34 @@ func parseErrPacket(p []byte) error {
 
 func isEOFPacket(p []byte) bool { return len(p) > 0 && len(p) < 9 && p[0] == 0xfe }
 
-// readResult consumes one command response: (nil, affected, nil) for OK,
-// a decoded result set for a row response, an error for ERR.
+// readResult consumes one command response: (nil, affected, nil) for OK, a
+// fully drained result set for a row response, an error for ERR. It is the
+// materialized convenience over readResponse/ClientRows, the way the
+// server's Query API drains its own cursor.
 func (c *Client) readResult(binaryRows bool) (*phoenix.ResultSet, uint64, error) {
+	rows, affected, err := c.readResponse(binaryRows)
+	if err != nil || rows == nil {
+		return nil, affected, err
+	}
+	rs := &phoenix.ResultSet{Columns: rows.names}
+	for rows.Next() {
+		row, err := rows.Row()
+		if err != nil {
+			return nil, 0, err
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, 0, err
+	}
+	return rs, 0, nil
+}
+
+// readResponse consumes a command response's leading packets: (nil,
+// affected, nil) for OK, an error for ERR, and for a result-set header a
+// ClientRows positioned before the first row (column definitions and their
+// EOF consumed).
+func (c *Client) readResponse(binaryRows bool) (*ClientRows, uint64, error) {
 	p, err := c.pc.readPacket()
 	if err != nil {
 		return nil, 0, err
@@ -379,29 +438,96 @@ func (c *Client) readResult(binaryRows bool) (*phoenix.ResultSet, uint64, error)
 	if _, err := c.pc.readPacket(); err != nil { // EOF after defs
 		return nil, 0, err
 	}
-	rs := &phoenix.ResultSet{Columns: names}
-	for {
-		rp, err := c.pc.readPacket()
-		if err != nil {
-			return nil, 0, err
-		}
-		if isEOFPacket(rp) {
-			return rs, 0, nil
-		}
-		if rp[0] == 0xff {
-			return nil, 0, parseErrPacket(rp)
-		}
-		var row schema.Row
-		if binaryRows {
-			row, err = parseBinaryRow(rp, names, types)
-		} else {
-			row, err = parseTextRow(rp, names, types)
-		}
-		if err != nil {
-			return nil, 0, err
-		}
-		rs.Rows = append(rs.Rows, row)
+	return &ClientRows{c: c, names: names, types: types, binary: binaryRows}, 0, nil
+}
+
+// ClientRows is an in-flight result set read row packet by row packet. The
+// caller must Close it (or drain it with Next) before issuing the next
+// command on the connection — the protocol has no way to abort a result set
+// mid-stream short of closing the connection.
+type ClientRows struct {
+	c      *Client
+	names  []string
+	types  []byte
+	binary bool
+	buf    []byte // reused packet scratch; holds the current row packet
+	vals   []schema.Value
+	err    error
+	done   bool
+}
+
+// Columns lists the result's column names in order.
+func (r *ClientRows) Columns() []string { return r.names }
+
+// Next reads the next row packet into the reused buffer. It returns false
+// at end of set or on error (check Err). A discard loop that never calls
+// Row or Values parses nothing and allocates nothing per row.
+func (r *ClientRows) Next() bool {
+	if r.done || r.err != nil {
+		return false
 	}
+	p, err := r.c.pc.readPacketInto(r.buf)
+	if err != nil {
+		r.err, r.done = err, true
+		return false
+	}
+	r.buf = p
+	if isEOFPacket(p) {
+		r.done = true
+		return false
+	}
+	if len(p) > 0 && p[0] == 0xff {
+		r.err, r.done = parseErrPacket(p), true
+		return false
+	}
+	return true
+}
+
+// Values decodes the current row into a reused slice, in column order.
+// Valid only until the next Next call.
+func (r *ClientRows) Values() ([]schema.Value, error) {
+	if r.vals == nil {
+		r.vals = make([]schema.Value, len(r.names))
+	}
+	var err error
+	if r.binary {
+		err = decodeBinaryRowVals(r.buf, r.types, r.vals)
+	} else {
+		err = decodeTextRowVals(r.buf, r.types, r.vals)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.vals, nil
+}
+
+// Row decodes the current row into a fresh map.
+func (r *ClientRows) Row() (schema.Row, error) {
+	vals, err := r.Values()
+	if err != nil {
+		return nil, err
+	}
+	row := make(schema.Row, len(vals))
+	for i, name := range r.names {
+		row[name] = vals[i]
+	}
+	return row, nil
+}
+
+// RawBytes returns the current row packet's undecoded payload, valid until
+// the next Next call. Benchmarks checksum the wire bytes with it, without
+// decoding or allocating per row.
+func (r *ClientRows) RawBytes() []byte { return r.buf }
+
+// Err reports the error that terminated iteration, if any.
+func (r *ClientRows) Err() error { return r.err }
+
+// Close drains any unread row packets so the connection is command-aligned,
+// and reports the terminal error, if any.
+func (r *ClientRows) Close() error {
+	for r.Next() {
+	}
+	return r.err
 }
 
 // parseColumnDef extracts the name and wire type of a column definition.
@@ -442,50 +568,52 @@ func textValue(s []byte, wireType byte) (schema.Value, error) {
 	}
 }
 
-func parseTextRow(p []byte, names []string, types []byte) (schema.Row, error) {
-	row := schema.Row{}
+// decodeTextRowVals decodes a text-protocol row packet into vals, in column
+// order.
+func decodeTextRowVals(p []byte, types []byte, vals []schema.Value) error {
 	off := 0
-	for i, name := range names {
+	for i := range vals {
 		if off < len(p) && p[off] == 0xfb {
-			row[name] = nil
+			vals[i] = nil
 			off++
 			continue
 		}
 		cell, next, err := readLencBytes(p, off)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v, err := textValue(cell, types[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row[name], off = v, next
+		vals[i], off = v, next
 	}
-	return row, nil
+	return nil
 }
 
-func parseBinaryRow(p []byte, names []string, types []byte) (schema.Row, error) {
+// decodeBinaryRowVals decodes a binary-protocol row packet into vals, in
+// column order.
+func decodeBinaryRowVals(p []byte, types []byte, vals []schema.Value) error {
 	if len(p) == 0 || p[0] != 0x00 {
-		return nil, fmt.Errorf("server: malformed binary row")
+		return fmt.Errorf("server: malformed binary row")
 	}
-	nb := (len(names) + 7 + 2) / 8
+	nb := (len(vals) + 7 + 2) / 8
 	if 1+nb > len(p) {
-		return nil, errShortPacket
+		return errShortPacket
 	}
 	bitmap := p[1 : 1+nb]
 	off := 1 + nb
-	row := schema.Row{}
-	for i, name := range names {
+	for i := range vals {
 		pos := i + 2
 		if bitmap[pos/8]&(1<<(pos%8)) != 0 {
-			row[name] = nil
+			vals[i] = nil
 			continue
 		}
 		v, next, err := decodeBinaryValue(p, off, types[i], false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row[name], off = v, next
+		vals[i], off = v, next
 	}
-	return row, nil
+	return nil
 }

@@ -7,7 +7,6 @@ import (
 	"io"
 	"strings"
 
-	"synergy/internal/phoenix"
 	"synergy/internal/schema"
 )
 
@@ -128,16 +127,17 @@ func (dc *dconn) Exec(query string, args []driver.Value) (driver.Result, error) 
 	return noResult{}, nil
 }
 
-// Query handles zero-argument queries over the text protocol.
+// Query handles zero-argument queries over the text protocol. Rows stream:
+// each driver-level Next reads one row packet off the wire.
 func (dc *dconn) Query(query string, args []driver.Value) (driver.Rows, error) {
 	if len(args) > 0 {
 		return nil, driver.ErrSkip
 	}
-	rs, err := dc.c.Query(query)
+	rows, err := dc.c.QueryStream(query)
 	if err != nil {
 		return nil, err
 	}
-	return &drows{rs: rs}, nil
+	return &drows{rows: rows}, nil
 }
 
 // noResult reports zero affected rows: the engine does not track per-row
@@ -203,30 +203,35 @@ func (s *dstmt) Query(args []driver.Value) (driver.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs, err := s.st.Query(vals...)
+	rows, err := s.st.QueryStream(vals...)
 	if err != nil {
 		return nil, err
 	}
-	return &drows{rs: rs}, nil
+	return &drows{rows: rows}, nil
 }
 
-// drows adapts a decoded result set to driver.Rows.
+// drows adapts an in-flight ClientRows to driver.Rows. database/sql closes
+// the rows before reusing the connection, which drains any unread packets.
 type drows struct {
-	rs  *phoenix.ResultSet
-	pos int
+	rows *ClientRows
 }
 
-func (r *drows) Columns() []string { return r.rs.Columns }
-func (r *drows) Close() error      { return nil }
+func (r *drows) Columns() []string { return r.rows.Columns() }
+func (r *drows) Close() error      { return r.rows.Close() }
 
 func (r *drows) Next(dest []driver.Value) error {
-	if r.pos >= len(r.rs.Rows) {
+	if !r.rows.Next() {
+		if err := r.rows.Err(); err != nil {
+			return err
+		}
 		return io.EOF
 	}
-	row := r.rs.Rows[r.pos]
-	r.pos++
-	for i, col := range r.rs.Columns {
-		switch x := row[col].(type) {
+	vals, err := r.rows.Values()
+	if err != nil {
+		return err
+	}
+	for i, v := range vals {
+		switch x := v.(type) {
 		case nil:
 			dest[i] = nil
 		case int64:

@@ -21,6 +21,11 @@ type packetConn struct {
 	r    *bufio.Reader
 	w    *bufio.Writer
 	seq  uint8
+	// rhdr and whdr are reused header scratch. io.ReadFull and the bufio
+	// large-write passthrough take their buffers through interfaces, so a
+	// per-call stack array would escape — one heap allocation per packet,
+	// which a row-streaming loop pays per row.
+	rhdr, whdr [4]byte
 }
 
 func newPacketConn(c net.Conn) *packetConn {
@@ -32,19 +37,33 @@ func (p *packetConn) resetSeq() { p.seq = 0 }
 
 // readPacket reads one logical packet, joining continuation packets.
 func (p *packetConn) readPacket() ([]byte, error) {
-	var payload []byte
+	return p.readPacketInto(nil)
+}
+
+// readPacketInto is readPacket reusing buf's capacity when it suffices, so a
+// row-streaming loop reads every packet into one scratch slice. The returned
+// payload aliases buf (possibly regrown); it is valid only until the next
+// readPacketInto with the same buffer.
+func (p *packetConn) readPacketInto(buf []byte) ([]byte, error) {
+	payload := buf[:0]
 	for {
-		var hdr [4]byte
-		if _, err := io.ReadFull(p.r, hdr[:]); err != nil {
+		hdr := p.rhdr[:]
+		if _, err := io.ReadFull(p.r, hdr); err != nil {
 			return nil, err
 		}
 		n := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16
 		p.seq = hdr[3] + 1
-		chunk := make([]byte, n)
-		if _, err := io.ReadFull(p.r, chunk); err != nil {
+		start := len(payload)
+		if start+n > cap(payload) {
+			grown := make([]byte, start+n)
+			copy(grown, payload)
+			payload = grown
+		} else {
+			payload = payload[:start+n]
+		}
+		if _, err := io.ReadFull(p.r, payload[start:]); err != nil {
 			return nil, err
 		}
-		payload = append(payload, chunk...)
 		if n < maxPacketPayload {
 			return payload, nil
 		}
@@ -59,13 +78,13 @@ func (p *packetConn) writePacket(payload []byte) error {
 		if len(chunk) > maxPacketPayload {
 			chunk = chunk[:maxPacketPayload]
 		}
-		var hdr [4]byte
+		hdr := p.whdr[:]
 		hdr[0] = byte(len(chunk))
 		hdr[1] = byte(len(chunk) >> 8)
 		hdr[2] = byte(len(chunk) >> 16)
 		hdr[3] = p.seq
 		p.seq++
-		if _, err := p.w.Write(hdr[:]); err != nil {
+		if _, err := p.w.Write(hdr); err != nil {
 			return err
 		}
 		if _, err := p.w.Write(chunk); err != nil {

@@ -203,6 +203,16 @@ type conn struct {
 	backendName string
 	readsName   string
 	autocommit  bool
+	stream      bool // SELECTs stream through a cursor (SET synergy_stream)
+
+	// enc is the row-encode scratch, reused across rows and statements.
+	// pc's buffered writer copies every packet out, so the slice is free
+	// for reuse the moment writePacket returns.
+	enc []byte
+	// stmtStart is the connection's elapsed simulated time when the current
+	// statement began; @@synergy_sim_ttfr_micros reports time-to-first-row
+	// relative to it.
+	stmtStart sim.Micros
 
 	stmts      map[uint32]*prepared
 	nextStmtID uint32
@@ -231,6 +241,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		id:         s.nextConnID.Add(1),
 		sctx:       sim.NewCtx(),
 		autocommit: true,
+		stream:     true,
 		readsName:  "default",
 		stmts:      map[uint32]*prepared{},
 	}
@@ -530,6 +541,8 @@ func (c *conn) execStatement(stmt sqlparser.Statement, params []schema.Value, bi
 	}
 	defer c.srv.gate.Release()
 	c.charge()
+	c.stmtStart = c.sctx.Elapsed()
+	c.sctx.ResetFirstRow()
 	if !c.autocommit && !c.sess.InTxn() {
 		// autocommit=0: the first statement implicitly opens a transaction.
 		if err := c.sess.Begin(c.sctx); err != nil {
@@ -537,6 +550,13 @@ func (c *conn) execStatement(stmt sqlparser.Statement, params []schema.Value, bi
 		}
 	}
 	if sel, ok := stmt.(*sqlparser.SelectStmt); ok {
+		if c.stream {
+			cur, err := c.sess.QueryStream(c.sctx, sel, params)
+			if err != nil {
+				return c.writeEngineErr(err)
+			}
+			return c.writeCursor(cur, binaryRows)
+		}
 		rs, err := c.sess.Query(c.sctx, sel, params)
 		if err != nil {
 			return c.writeEngineErr(err)
@@ -564,11 +584,18 @@ func (c *conn) writeResultSet(rs *phoenix.ResultSet, binaryRows, charged bool) e
 		pkts = append(pkts, columnDef(col, types[i]))
 	}
 	pkts = append(pkts, appendEOF(nil, c.status()))
-	for _, row := range rs.Rows {
+	for i, row := range rs.Rows {
+		if i == 0 && charged {
+			// The materialized path's time-to-first-row is the whole
+			// execution: nothing was encoded until the result set was
+			// fully buffered. (Uncharged sysvar replies don't mark — they
+			// would clobber the previous statement's measurement.)
+			c.sctx.MarkFirstRow()
+		}
 		if binaryRows {
-			pkts = append(pkts, binaryRow(rs, types, row))
+			pkts = append(pkts, appendBinaryRow(nil, rs.Columns, types, row))
 		} else {
-			pkts = append(pkts, textRow(rs, row))
+			pkts = append(pkts, appendTextRow(nil, rs.Columns, row))
 		}
 	}
 	pkts = append(pkts, appendEOF(nil, c.status()))
@@ -583,6 +610,91 @@ func (c *conn) writeResultSet(rs *phoenix.ResultSet, binaryRows, charged bool) e
 		if err := c.pc.writePacket(p); err != nil {
 			return err
 		}
+	}
+	return c.pc.flush()
+}
+
+// writeCursor streams a cursor's rows to the client as a protocol-41 result
+// set: one row packet at a time through the connection's bounded flush
+// buffer, so server memory stays O(scan chunk) no matter how many rows the
+// query returns. Row payloads encode into the connection's reused scratch
+// slice; cursors that expose raw cell bytes skip value decoding entirely.
+//
+// Error handling is asymmetric by protocol necessity: a failure before any
+// packet goes out becomes a normal ERR reply, but once the column header is
+// on the wire a result set cannot morph into an ERR packet, so a mid-stream
+// cursor or Close error (e.g. an MVCC autocommit commit conflict surfacing
+// at settle time) returns the error and the connection closes — the client
+// sees a truncated result set, never a silently wrong one. Documented in
+// docs/PROTOCOL.md.
+//
+// The per-byte wire cost is charged once for the whole response on success,
+// over the same byte total the materialized writeResultSet computes, keeping
+// simulated time identical across the two paths.
+func (c *conn) writeCursor(cur phoenix.RowCursor, binaryRows bool) error {
+	defer cur.Close(c.sctx)
+	cols := cur.Columns()
+	types := make([]byte, len(cols))
+	for i, t := range cur.Types() {
+		types[i] = wireTypeOf(t)
+	}
+	total := 0
+	writePkt := func(p []byte) error {
+		total += len(p) + 4
+		return c.pc.writePacket(p)
+	}
+	b := c.enc
+	defer func() { c.enc = b }()
+
+	b = appendLencInt(b[:0], uint64(len(cols)))
+	if err := writePkt(b); err != nil {
+		return err
+	}
+	for i, col := range cols {
+		if err := writePkt(columnDef(col, types[i])); err != nil {
+			return err
+		}
+	}
+	b = appendEOF(b[:0], c.status())
+	if err := writePkt(b); err != nil {
+		return err
+	}
+
+	raw, rawOK := cur.(phoenix.RawCursor)
+	first := true
+	for cur.Next(c.sctx) {
+		if first {
+			c.sctx.MarkFirstRow()
+			first = false
+		}
+		b = b[:0]
+		switch {
+		case rawOK && binaryRows:
+			b = appendBinaryRowRaw(b, types, raw)
+		case rawOK:
+			b = appendTextRowRaw(b, raw, len(cols))
+		case binaryRows:
+			b = appendBinaryRow(b, cols, types, cur.Row())
+		default:
+			b = appendTextRow(b, cols, cur.Row())
+		}
+		if err := writePkt(b); err != nil {
+			return err
+		}
+	}
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	// Close settles transactional cursors (MVCC autocommit commits here);
+	// its error also tears the connection down — see above.
+	if err := cur.Close(c.sctx); err != nil {
+		return err
+	}
+	b = appendEOF(b[:0], c.status())
+	total += len(b) + 4
+	c.sctx.Charge(c.srv.costs.WirePerByte.Mul(total))
+	if err := c.pc.writePacket(b); err != nil {
+		return err
 	}
 	return c.pc.flush()
 }
@@ -626,6 +738,13 @@ func (c *conn) handleSet(rest string) error {
 			return c.writeErrPacket(errWrongVarVal, "42000", fmt.Sprintf("bad synergy_reads value %q (stale|watermark)", val))
 		}
 		c.readsName = strings.ToLower(val)
+	case "synergy_stream":
+		on := val == "1" || strings.EqualFold(val, "on")
+		off := val == "0" || strings.EqualFold(val, "off")
+		if !on && !off {
+			return c.writeErrPacket(errWrongVarVal, "42000", fmt.Sprintf("bad synergy_stream value %q", val))
+		}
+		c.stream = on
 	default:
 		// Unknown SETs are accepted silently (clients send sql_mode, NAMES,
 		// time_zone and the like on connect).
@@ -673,6 +792,21 @@ func (c *conn) handleSysVar(rest string) error {
 		v = int64(len(c.stmts))
 	case "synergy_queue_waits":
 		v = c.queueWaits
+	case "synergy_stream":
+		var n int64
+		if c.stream {
+			n = 1
+		}
+		v = n
+	case "synergy_sim_ttfr_micros":
+		// Time to first row of the last statement's result set, relative to
+		// that statement's start (0 when the last result was empty or the
+		// statement wasn't a SELECT).
+		var n int64
+		if ttfr, ok := c.sctx.TimeToFirstRow(); ok && ttfr >= c.stmtStart {
+			n = int64(ttfr - c.stmtStart)
+		}
+		v = n
 	case "autocommit":
 		var n int64
 		if c.autocommit {

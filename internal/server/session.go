@@ -34,6 +34,12 @@ type Session interface {
 	// (reading the transaction's own buffered writes), else against a fresh
 	// snapshot.
 	Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (*phoenix.ResultSet, error)
+	// QueryStream is Query returning a streaming cursor: rows are pulled
+	// off the region scanner as the caller iterates, so peak memory is one
+	// scan chunk for streamable shapes. The caller must Close the cursor
+	// and check its error — for autocommit snapshot reads under MVCC,
+	// Close is what settles the wrapping transaction.
+	QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error)
 	// Exec runs a write statement — buffered into the open transaction when
 	// there is one, else as its own autocommitted transaction.
 	Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error
@@ -100,6 +106,15 @@ func (s *SystemSession) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []
 		return s.tx.QueryWithReads(ctx, sel, params, s.reads)
 	}
 	return s.sys.QueryWithReads(ctx, sel, params, s.reads)
+}
+
+// QueryStream runs a SELECT as a streaming cursor, inside the open
+// transaction or against a fresh snapshot.
+func (s *SystemSession) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error) {
+	if s.tx != nil {
+		return s.tx.QueryStreamWithReads(ctx, sel, params, s.reads)
+	}
+	return s.sys.QueryStreamWithReads(ctx, sel, params, s.reads)
 }
 
 // Exec runs a write statement. A statement error inside an open transaction
@@ -192,6 +207,15 @@ func (s *MVCCSession) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []sc
 	return s.sess.Query(ctx, sel, params)
 }
 
+// QueryStream runs a SELECT as a streaming cursor, inside the open
+// transaction or as its own snapshot transaction (settled by Close).
+func (s *MVCCSession) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error) {
+	if s.tx != nil {
+		return s.tx.QueryStream(ctx, sel, params)
+	}
+	return s.sess.QueryStream(ctx, sel, params)
+}
+
 // Exec runs a write statement; an error inside an open transaction aborts
 // it (see Session).
 func (s *MVCCSession) Exec(ctx *sim.Ctx, stmt sqlparser.Statement, params []schema.Value) error {
@@ -267,6 +291,16 @@ func (s *OCCSession) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []sch
 		return s.tx.Query(ctx, sel, params)
 	}
 	return s.sess.Query(ctx, sel, params)
+}
+
+// QueryStream runs a SELECT as a streaming cursor, inside the open
+// transaction (its scan ranges joining the read set) or against a fresh
+// snapshot.
+func (s *OCCSession) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error) {
+	if s.tx != nil {
+		return s.tx.QueryStream(ctx, sel, params)
+	}
+	return s.sess.QueryStream(ctx, sel, params)
 }
 
 // Exec runs a write statement; an error inside an open transaction aborts

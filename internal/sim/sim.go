@@ -71,6 +71,14 @@ type Ctx struct {
 	watermarkWaits atomic.Int64
 	queueWaits     atomic.Int64
 	queueWaitTime  atomic.Int64
+
+	// firstRow records the elapsed time at which the request produced its
+	// first result row, stored as elapsed+1 so zero means "not yet marked".
+	// The serving wire layer marks it as it encodes the first row packet,
+	// so streamed and materialized responses measure the same event: a
+	// streamed scan marks after one chunk, a materialized one only after
+	// the whole result was buffered.
+	firstRow atomic.Int64
 }
 
 // NewCtx returns a fresh request context with zero elapsed time.
@@ -190,6 +198,40 @@ func (c *Ctx) Reset() {
 	c.watermarkWaits.Store(0)
 	c.queueWaits.Store(0)
 	c.queueWaitTime.Store(0)
+	c.firstRow.Store(0)
+}
+
+// MarkFirstRow records the current elapsed time as the request's
+// time-to-first-row. Only the first call per request (or per ResetFirstRow)
+// takes effect; later calls are no-ops.
+func (c *Ctx) MarkFirstRow() {
+	if c == nil {
+		return
+	}
+	c.firstRow.CompareAndSwap(0, c.elapsed.Load()+1)
+}
+
+// ResetFirstRow clears the time-to-first-row mark so a long-lived context
+// (a server connection serving many statements) can measure each statement
+// independently.
+func (c *Ctx) ResetFirstRow() {
+	if c != nil {
+		c.firstRow.Store(0)
+	}
+}
+
+// TimeToFirstRow reports the elapsed simulated time at which the first
+// result row was produced. ok is false if no row was marked (no streaming
+// read ran, or the result was empty).
+func (c *Ctx) TimeToFirstRow() (Micros, bool) {
+	if c == nil {
+		return 0, false
+	}
+	v := c.firstRow.Load()
+	if v == 0 {
+		return 0, false
+	}
+	return Micros(v - 1), true
 }
 
 // CountRPC records an RPC round trip (the latency is charged separately by
@@ -292,7 +334,10 @@ type Stats struct {
 	// server's outstanding load; QueueWaitTime is their summed simulated wait.
 	QueueWaits    int64
 	QueueWaitTime Micros
-	Elapsed       Micros
+	// TTFR is the elapsed simulated time at which the request produced its
+	// first result row (zero when nothing marked one — see MarkFirstRow).
+	TTFR    Micros
+	Elapsed Micros
 }
 
 // Snapshot returns the current work counters.
@@ -300,7 +345,7 @@ func (c *Ctx) Snapshot() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	return Stats{
+	s := Stats{
 		RPCs:           c.rpcs.Load(),
 		RowsScanned:    c.rowsScanned.Load(),
 		RowsReturned:   c.rowsReturned.Load(),
@@ -315,4 +360,8 @@ func (c *Ctx) Snapshot() Stats {
 		QueueWaitTime:  Micros(c.queueWaitTime.Load()),
 		Elapsed:        c.Elapsed(),
 	}
+	if ttfr, ok := c.TimeToFirstRow(); ok {
+		s.TTFR = ttfr
+	}
+	return s
 }

@@ -532,6 +532,29 @@ func (sys *System) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schem
 // choice through it, so concurrent sessions with different contracts never
 // race on the system-wide default.
 func (sys *System) QueryWithReads(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value, reads ViewReadMode) (*phoenix.ResultSet, error) {
+	cur, err := sys.QueryStreamWithReads(ctx, sel, params, reads)
+	if err != nil {
+		return nil, err
+	}
+	return phoenix.DrainCursor(ctx, cur)
+}
+
+// QueryStream executes a read as a streaming cursor at the configured
+// freshness default. See QueryStreamWithReads.
+func (sys *System) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error) {
+	return sys.QueryStreamWithReads(ctx, sel, params, sys.cfg.AsyncReads)
+}
+
+// QueryStreamWithReads is QueryWithReads returning a cursor instead of a
+// materialized result: non-blocking single-table shapes stream directly off
+// the region scanner, so peak memory is one scan chunk regardless of result
+// size. The snapshot semantics are identical to QueryWithReads — under MVCC
+// the read runs inside a snapshot transaction that stays open for the
+// cursor's lifetime and is settled by Close (committed on a clean drain,
+// aborted if the cursor saw an error); OCC and hierarchical reads carry no
+// per-read transaction state, so their cursors only release the scanner.
+// The caller must Close the cursor and check its error.
+func (sys *System) QueryStreamWithReads(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value, reads ViewReadMode) (phoenix.RowCursor, error) {
 	stmt := sys.rewriteFor(sel)
 	if sys.Feed != nil && reads == ReadWatermark {
 		arrival := sys.Store.CurrentTS()
@@ -542,20 +565,23 @@ func (sys *System) QueryWithReads(ctx *sim.Ctx, sel *sqlparser.SelectStmt, param
 	switch sys.cfg.Concurrency {
 	case MVCC:
 		tx := sys.MVCCServer.Begin(ctx)
-		rs, err := sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: tx.ReadOpts(), OnViewScan: sys.staleObserver(tx.ID(), reads)})
+		cur, err := sys.Engine.QueryStreamOpts(ctx, stmt, params, phoenix.QueryOpts{Read: tx.ReadOpts(), OnViewScan: sys.staleObserver(tx.ID(), reads)})
 		if err != nil {
 			sys.MVCCServer.Abort(ctx, tx)
 			return nil, err
 		}
-		if cerr := sys.MVCCServer.Commit(ctx, tx); cerr != nil {
-			return nil, cerr
-		}
-		return rs, nil
+		return phoenix.WithClose(cur, func(ctx *sim.Ctx, inner phoenix.RowCursor) error {
+			if inner.Err() != nil {
+				sys.MVCCServer.Abort(ctx, tx)
+				return nil
+			}
+			return sys.MVCCServer.Commit(ctx, tx)
+		}), nil
 	case OCC:
 		snap := sys.OCC.SnapshotTS(ctx)
-		return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{Read: hbase.SnapshotRead(snap), OnViewScan: sys.staleObserver(snap, reads)})
+		return sys.Engine.QueryStreamOpts(ctx, stmt, params, phoenix.QueryOpts{Read: hbase.SnapshotRead(snap), OnViewScan: sys.staleObserver(snap, reads)})
 	}
-	return sys.Engine.QueryOpts(ctx, stmt, params, phoenix.QueryOpts{DirtyCheck: true, OnViewScan: sys.staleObserver(sys.Store.CurrentTS(), reads)})
+	return sys.Engine.QueryStreamOpts(ctx, stmt, params, phoenix.QueryOpts{DirtyCheck: true, OnViewScan: sys.staleObserver(sys.Store.CurrentTS(), reads)})
 }
 
 // Exec executes a write statement: through the Synergy transaction layer

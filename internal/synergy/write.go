@@ -265,6 +265,26 @@ func (tx *Tx) Query(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Val
 // waiting past the snapshot would charge the reader for freshness it cannot
 // observe.
 func (tx *Tx) QueryWithReads(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value, reads ViewReadMode) (*phoenix.ResultSet, error) {
+	cur, err := tx.QueryStreamWithReads(ctx, sel, params, reads)
+	if err != nil {
+		return nil, err
+	}
+	return phoenix.DrainCursor(ctx, cur)
+}
+
+// QueryStream runs a SELECT inside the transaction as a streaming cursor at
+// the configured freshness default. See QueryStreamWithReads.
+func (tx *Tx) QueryStream(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value) (phoenix.RowCursor, error) {
+	return tx.QueryStreamWithReads(ctx, sel, params, tx.sys.cfg.AsyncReads)
+}
+
+// QueryStreamWithReads is QueryWithReads returning a cursor. The cursor
+// reads at the transaction's snapshot (and through its write overlay /
+// tracking reader), but holds no transaction state of its own: Close only
+// releases the scanner, and the transaction outlives the cursor. The cursor
+// must be closed before the next statement runs — it reads through the
+// transaction's current checkpoint, which the next Exec advances.
+func (tx *Tx) QueryStreamWithReads(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []schema.Value, reads ViewReadMode) (phoenix.RowCursor, error) {
 	if tx.done {
 		return nil, fmt.Errorf("synergy: transaction already finished")
 	}
@@ -300,7 +320,7 @@ func (tx *Tx) QueryWithReads(ctx *sim.Ctx, sel *sqlparser.SelectStmt, params []s
 			opts.View = tx.mutator.View()
 		}
 	}
-	return sys.Engine.QueryOpts(ctx, stmt, params, opts)
+	return sys.Engine.QueryStreamOpts(ctx, stmt, params, opts)
 }
 
 // Commit flushes every buffered mutation as one region-grouped batch round,

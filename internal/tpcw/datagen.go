@@ -58,6 +58,35 @@ type Data struct {
 // Uname is the deterministic c_uname of a customer id.
 func Uname(cID int64) string { return fmt.Sprintf("user%08d", cID) }
 
+// GenerateCustomers builds just the Customer table's rows for a customer
+// count, byte-identical to what Generate(numCust, seed) would put there:
+// every table's value stream derives independently from the seed, so one
+// table can be produced without paying for the rest of the database. The
+// large-scan bench uses it to load a single wide table of controllable size.
+func GenerateCustomers(numCust int, seed int64) []schema.Row {
+	return generateCustomers(sim.NewRNG(seed), CardinalitiesFor(numCust))
+}
+
+func generateCustomers(rng *sim.RNG, card Cardinalities) []schema.Row {
+	cg := rng.Derive("customer")
+	customers := make([]schema.Row, 0, card.Customers)
+	for i := 1; i <= card.Customers; i++ {
+		customers = append(customers, schema.Row{
+			"c_id": int64(i), "c_uname": Uname(int64(i)),
+			"c_passwd": cg.String(8, 8),
+			"c_fname":  cg.String(5, 12), "c_lname": cg.String(5, 14),
+			"c_addr_id": int64(cg.IntRange(1, card.Addresses)),
+			"c_phone":   cg.String(10, 12), "c_email": cg.String(12, 20),
+			"c_since": int64(cg.IntRange(10000, 19000)), "c_last_login": int64(cg.IntRange(19000, 20000)),
+			"c_login": int64(cg.IntRange(0, 100)), "c_expiration": int64(cg.IntRange(20000, 21000)),
+			"c_discount": float64(cg.IntRange(0, 50)) / 100,
+			"c_balance":  float64(cg.IntRange(-100, 1000)), "c_ytd_pmt": float64(cg.IntRange(0, 10000)) / 10,
+			"c_birthdate": int64(cg.IntRange(1920, 2005)), "c_data": cg.String(60, 120),
+		})
+	}
+	return customers
+}
+
 // Generate builds the database deterministically from a seed.
 func Generate(numCust int, seed int64) *Data {
 	card := CardinalitiesFor(numCust)
@@ -104,23 +133,7 @@ func Generate(numCust int, seed int64) *Data {
 	}
 	d.Tables["Address"] = addresses
 
-	cg := rng.Derive("customer")
-	customers := make([]schema.Row, 0, card.Customers)
-	for i := 1; i <= card.Customers; i++ {
-		customers = append(customers, schema.Row{
-			"c_id": int64(i), "c_uname": Uname(int64(i)),
-			"c_passwd": cg.String(8, 8),
-			"c_fname":  cg.String(5, 12), "c_lname": cg.String(5, 14),
-			"c_addr_id": int64(cg.IntRange(1, card.Addresses)),
-			"c_phone":   cg.String(10, 12), "c_email": cg.String(12, 20),
-			"c_since": int64(cg.IntRange(10000, 19000)), "c_last_login": int64(cg.IntRange(19000, 20000)),
-			"c_login": int64(cg.IntRange(0, 100)), "c_expiration": int64(cg.IntRange(20000, 21000)),
-			"c_discount": float64(cg.IntRange(0, 50)) / 100,
-			"c_balance":  float64(cg.IntRange(-100, 1000)), "c_ytd_pmt": float64(cg.IntRange(0, 10000)) / 10,
-			"c_birthdate": int64(cg.IntRange(1920, 2005)), "c_data": cg.String(60, 120),
-		})
-	}
-	d.Tables["Customer"] = customers
+	d.Tables["Customer"] = generateCustomers(rng, card)
 
 	ig := rng.Derive("item")
 	items := make([]schema.Row, 0, card.Items)
